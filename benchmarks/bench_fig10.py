@@ -1,0 +1,52 @@
+"""Fig 10: DDMD Scaling A — SOMA rank:pipeline ratio barely matters.
+
+64 pipelines on 64 app nodes; SOMA ranks 16/32/64 on 1/2/4 SOMA nodes
+(pipeline:rank ratios 4:1 to 1:1), in shared and exclusive
+configurations.  Checks the paper's two findings: (1) the ratio of
+SOMA ranks to pipelines has little effect, (2) shared placement
+reduces many pipelines' runtimes but increases variance.
+"""
+
+import numpy as np
+from conftest import scaling_a_run
+
+from repro.analysis import render_boxes
+from repro.experiments import pipeline_durations
+
+
+def test_fig10_scaling_a(benchmark, report):
+    def regenerate():
+        out = {}
+        for soma_nodes in (1, 2, 4):
+            for mode in ("shared", "exclusive"):
+                result = scaling_a_run(soma_nodes, mode)
+                label = f"{mode}-{16 * soma_nodes}ranks"
+                out[label] = pipeline_durations(result)
+        return out
+
+    durations = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report(
+        "fig10",
+        render_boxes(
+            durations,
+            title="Fig 10: Scaling A pipeline runtimes (64 pipelines)",
+        ),
+    )
+
+    # (1) Ratio has little effect: within each placement mode, means
+    # across rank counts stay within a few percent of each other.
+    for mode in ("shared", "exclusive"):
+        means = [
+            float(np.mean(durations[f"{mode}-{ranks}ranks"]))
+            for ranks in (16, 32, 64)
+        ]
+        assert max(means) / min(means) < 1.06, means
+
+    # (2) Shared placement helps on average (extra GPUs/cores on the
+    # SOMA nodes) at equal rank counts.
+    shared_mean = float(np.mean(durations["shared-64ranks"]))
+    exclusive_mean = float(np.mean(durations["exclusive-64ranks"]))
+    assert shared_mean <= exclusive_mean * 1.01
+    benchmark.extra_info["means"] = {
+        k: round(float(np.mean(v)), 1) for k, v in durations.items()
+    }

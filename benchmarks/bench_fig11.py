@@ -1,0 +1,104 @@
+"""Fig 11: DDMD Scaling B — monitoring cost/benefit at scale.
+
+For each scale (m pipelines on m app nodes; SOMA ranks : pipelines
+fixed at 1:1 on 4/7/13/25 SOMA nodes), compares pipeline-runtime
+distributions across the five configurations of the paper:
+
+* none (baseline, no SOMA nodes, no monitoring),
+* shared / exclusive at the 60 s monitoring frequency,
+* frequent-shared / frequent-exclusive at 10 s.
+
+Checks the paper's shape: frequent-exclusive pays a few percent that
+grows with scale; shared placement recovers resources at small scale
+and loses its edge by 512 nodes.
+
+By default this bench runs m = 64 and 128; set REPRO_FULL_SCALE=1 to
+add 256 and 512 (several minutes of simulation).
+"""
+
+import numpy as np
+from conftest import FULL_SCALE, scaling_b_run
+
+from repro.analysis import compare_runtimes, render_boxes, render_table
+from repro.experiments import pipeline_durations
+
+SCALES = (64, 128, 256, 512) if FULL_SCALE else (64, 128)
+CONFIGS = (
+    ("none", False),
+    ("shared", False),
+    ("exclusive", False),
+    ("shared", True),
+    ("exclusive", True),
+)
+
+
+def test_fig11_scaling_b(benchmark, report):
+    def regenerate():
+        data: dict[int, dict[str, list[float]]] = {}
+        for pipelines in SCALES:
+            per_config = {}
+            for mode, frequent in CONFIGS:
+                label = ("frequent-" if frequent else "") + mode
+                result = scaling_b_run(pipelines, mode, frequent=frequent)
+                per_config[label] = pipeline_durations(result)
+            data[pipelines] = per_config
+        return data
+
+    data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    sections = []
+    overhead_rows = []
+    for pipelines, per_config in data.items():
+        sections.append(
+            render_boxes(
+                per_config,
+                title=f"Fig 11: Scaling B, {pipelines} application nodes",
+            )
+        )
+        baseline = per_config["none"]
+        monitored = {k: v for k, v in per_config.items() if k != "none"}
+        for result in compare_runtimes(baseline, monitored):
+            overhead_rows.append(
+                [
+                    pipelines,
+                    result.config,
+                    f"{result.overhead_percent:+.2f}%",
+                    f"{result.config_mean:.1f}",
+                    f"{result.baseline_mean:.1f}",
+                ]
+            )
+    sections.append(
+        render_table(
+            ["app nodes", "config", "overhead", "mean (s)", "baseline (s)"],
+            overhead_rows,
+            title="overhead vs baseline (paper: frequent-exclusive "
+            "+1.4/+3.4/+3.2/+4.6% at 64/128/256/512; shared "
+            "-6.5/-3.8/-1.1/+1.8%)",
+        )
+    )
+    report("fig11", "\n\n".join(sections))
+
+    # Shape checks (robust to run-to-run noise):
+    overhead = {
+        (rows[0], rows[1]): float(rows[2].rstrip("%"))
+        for rows in overhead_rows
+    }
+    largest = max(SCALES)
+    # Frequent-exclusive is the worst monitored configuration at the
+    # largest scale, with positive overhead.
+    assert overhead[(largest, "frequent-exclusive")] > 0
+    # Frequent monitoring overhead grows with scale.
+    assert (
+        overhead[(largest, "frequent-exclusive")]
+        > overhead[(SCALES[0], "frequent-exclusive")] - 0.5
+    )
+    # Shared is cheaper than exclusive under frequent monitoring at the
+    # smallest scale (the free-resource recovery effect).
+    assert (
+        overhead[(SCALES[0], "shared")]
+        <= overhead[(SCALES[0], "exclusive")] + 1.0
+    )
+    benchmark.extra_info["overheads_percent"] = {
+        f"{scale}-{config}": value
+        for (scale, config), value in overhead.items()
+    }

@@ -1,0 +1,38 @@
+"""Fig 4: OpenFOAM strong scaling — 20 instances per configuration.
+
+Regenerates the box-plot data: execution-time distribution per MPI-rank
+configuration (20/41/82/164) from the overloaded run, and checks the
+paper's headline shape: scaling helps up to ~2 nodes (82 ranks) and
+little beyond.
+"""
+
+import numpy as np
+from conftest import openfoam_overload_run
+
+from repro.analysis import render_boxes
+from repro.experiments import execution_times_by_ranks
+
+
+def test_fig4_strong_scaling(benchmark, report):
+    def regenerate():
+        result = openfoam_overload_run()
+        return execution_times_by_ranks(result)
+
+    times = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    table = render_boxes(
+        {f"{ranks} ranks": values for ranks, values in sorted(times.items())},
+        title="Fig 4: OpenFOAM task execution time vs MPI ranks "
+        "(20 instances each, overloaded run)",
+    )
+    report("fig4", table)
+
+    means = {ranks: float(np.mean(v)) for ranks, v in times.items()}
+    # Shape: monotone decreasing over the paper's configurations...
+    assert means[20] > means[41] > means[82] > means[164]
+    # ...with diminishing returns past two nodes (82 ranks).
+    gain_41_82 = (means[41] - means[82]) / means[41]
+    gain_82_164 = (means[82] - means[164]) / means[82]
+    assert gain_82_164 < gain_41_82
+    benchmark.extra_info["mean_exec_times"] = {
+        str(k): round(v, 1) for k, v in means.items()
+    }

@@ -1,0 +1,46 @@
+"""Table 1: OpenFOAM experiment summary — configuration and run check.
+
+Regenerates the experiment summary table and executes the tuning run
+(the overload run is exercised — and timed — by the Fig 4 bench).
+"""
+
+from conftest import openfoam_tuning_run
+
+from repro.analysis import render_table
+from repro.experiments import OVERLOAD, TUNING
+
+
+def test_table1_openfoam_summary(benchmark, report):
+    def regenerate():
+        result = openfoam_tuning_run()
+        rows = []
+        for exp in (TUNING, OVERLOAD):
+            rows.append(
+                [
+                    exp.name,
+                    exp.num_tasks,
+                    f"{exp.compute_nodes} (+{exp.agent_nodes})",
+                    ",".join(str(r) for r in exp.rank_configs),
+                    "proc, rp, tau" if exp.use_tau else ",".join(exp.monitors),
+                    exp.soma_ranks_per_namespace,
+                ]
+            )
+        table = render_table(
+            [
+                "Experiment",
+                "Number of Tasks",
+                "Number of Nodes",
+                "MPI Ranks",
+                "Monitors",
+                "SOMA Ranks/Namespace",
+            ],
+            rows,
+            title="Table 1: OpenFOAM Experiment Summary",
+        )
+        return table, result
+
+    table, result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report("table1", table)
+    # The tuning run really produced 4 monitored tasks.
+    assert len(result.application_tasks) == TUNING.num_tasks
+    benchmark.extra_info["tuning_makespan_s"] = round(result.makespan, 1)

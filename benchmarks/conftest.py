@@ -1,0 +1,100 @@
+"""Shared infrastructure for the per-table / per-figure benchmarks.
+
+Heavy experiment runs are cached per session so the figure benches
+that consume the same run (e.g. Figs 4/5/6/8 all come from the
+OpenFOAM runs of Table 1) do not re-simulate it.  Every bench renders
+its table/series through :mod:`repro.analysis.report` and writes the
+text into ``benchmarks/results/`` so the regenerated "paper output"
+survives pytest's stdout capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Set REPRO_FULL_SCALE=1 to run Scaling B up to 512 nodes (minutes);
+#: the default covers 64 and 128 nodes.
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+_cache: dict[str, object] = {}
+
+
+def cached(key: str, factory):
+    """Compute-once cache shared by all benches in one pytest run."""
+    if key not in _cache:
+        _cache[key] = factory()
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Write (and echo) a rendered report for one table/figure."""
+
+    def _write(name: str, text: str) -> str:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return text
+
+    return _write
+
+
+# -- canonical experiment runs (shared across benches) -----------------
+
+
+def openfoam_tuning_run():
+    from repro.experiments import TUNING, run_openfoam_experiment
+
+    return cached(
+        "openfoam-tuning", lambda: run_openfoam_experiment(TUNING, seed=11)
+    )
+
+
+def openfoam_overload_run():
+    from repro.experiments import OVERLOAD, run_openfoam_experiment
+
+    return cached(
+        "openfoam-overload", lambda: run_openfoam_experiment(OVERLOAD, seed=21)
+    )
+
+
+def ddmd_tuning_run():
+    from repro.experiments import run_ddmd_experiment, tuning_experiment
+
+    return cached(
+        "ddmd-tuning",
+        lambda: run_ddmd_experiment(tuning_experiment(), seed=7),
+    )
+
+
+def scaling_b_run(pipelines: int, mode: str, frequent: bool = False):
+    from repro.experiments import SCALING_B, run_ddmd_experiment
+
+    key = f"scaling-b-{pipelines}-{mode}-{frequent}"
+    return cached(
+        key,
+        lambda: run_ddmd_experiment(
+            SCALING_B(pipelines, mode, frequent=frequent), seed=5
+        ),
+    )
+
+
+def scaling_a_run(soma_nodes: int, mode: str):
+    from repro.experiments import SCALING_A, run_ddmd_experiment
+
+    key = f"scaling-a-{soma_nodes}-{mode}"
+    return cached(
+        key,
+        lambda: run_ddmd_experiment(SCALING_A(soma_nodes, mode), seed=5),
+    )

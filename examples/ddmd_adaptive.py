@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Adaptive DDMD workflow: online SOMA analysis between phases.
+
+Reproduces the paper's second DDMD experiment (Sec 3.2): four phases
+with 1/2/4/6 training tasks set a priori, while SOMA computes
+free-resource estimates *online* between phases — the information a
+future adaptive RP would use to resize the next phase.
+
+The example prints, after each phase, the CPU headroom SOMA observed
+and the training-task count a simple policy would have chosen,
+illustrating the paper's conclusion that "the effect of using fewer
+CPU cores per task was minimal" and that parallelizing training is
+the productive direction.
+
+Run:  python examples/ddmd_adaptive.py
+"""
+
+from repro.analysis import render_table
+from repro.experiments import (
+    DDMD_ADAPTIVE_TRAIN_COUNTS,
+    adaptive_experiment,
+    run_ddmd_experiment,
+    stage_durations,
+)
+
+
+def recommend_train_tasks(headroom: dict[str, float], gpus_per_node: int = 6) -> int:
+    """A toy adaptive policy: with ample CPU headroom, parallelize
+    training up to the free-GPU budget."""
+    if not headroom:
+        return 1
+    mean_headroom = sum(headroom.values()) / len(headroom)
+    if mean_headroom > 0.75:
+        return gpus_per_node
+    if mean_headroom > 0.5:
+        return gpus_per_node // 2
+    return 1
+
+
+def main() -> None:
+    experiment = adaptive_experiment()
+    print(
+        "running the adaptive DDMD workflow: 4 phases, training tasks "
+        f"{list(DDMD_ADAPTIVE_TRAIN_COUNTS)} (a priori, as in Table 2)"
+    )
+    result = run_ddmd_experiment(experiment, seed=13, adaptive_analysis=True)
+    print(f"makespan: {result.makespan:.0f} simulated seconds\n")
+
+    analyses = result.payload["analyses"]
+    train_times = stage_durations(result, "training")
+    sim_times = stage_durations(result, "simulation")
+
+    rows = []
+    for phase, analysis in enumerate(analyses):
+        headroom = analysis["headroom"]
+        mean_headroom = (
+            sum(headroom.values()) / len(headroom) if headroom else 0.0
+        )
+        rows.append(
+            [
+                phase,
+                DDMD_ADAPTIVE_TRAIN_COUNTS[phase],
+                f"{sim_times[phase]:.0f}",
+                f"{train_times[phase]:.0f}",
+                f"{mean_headroom:.2f}",
+                recommend_train_tasks(headroom),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "phase",
+                "train tasks",
+                "sim stage (s)",
+                "train stage (s)",
+                "CPU headroom",
+                "policy suggests",
+            ],
+            rows,
+            title="online SOMA analysis between phases",
+        )
+    )
+    print(
+        "\nObservation (paper Sec 4.3): CPU headroom stays high in every "
+        "phase because the work is GPU-bound — so the adaptive lever is "
+        "parallelizing training across free GPUs, not adding CPU cores."
+    )
+
+
+if __name__ == "__main__":
+    main()

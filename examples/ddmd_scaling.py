@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""DeepDriveMD mini-app scaling under SOMA (paper Sec 3.2, Figs 10/11).
+
+Runs a reduced Scaling-B comparison — m concurrent pipelines on m app
+nodes in the baseline ("none"), "shared" and "exclusive" SOMA
+configurations plus the "frequent" (10 s) variants — and prints the
+per-pipeline runtime distributions and monitoring overheads the paper
+reports.
+
+Default is a laptop-friendly 16 pipelines; pass a pipeline count to go
+bigger (the paper uses 64..512):
+
+    python examples/ddmd_scaling.py 64
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import compare_runtimes, render_boxes
+from repro.experiments import SCALING_B, pipeline_durations, run_ddmd_experiment
+from repro.soma import HARDWARE
+
+
+def main(pipelines: int = 16) -> None:
+    configs = [
+        ("none", False),
+        ("shared", False),
+        ("exclusive", False),
+        ("shared", True),
+        ("exclusive", True),
+    ]
+    durations: dict[str, list[float]] = {}
+    for mode, frequent in configs:
+        label = mode + ("-frequent" if frequent else "")
+        exp = SCALING_B(pipelines, mode, frequent=frequent)
+        if pipelines < 64:
+            # Reduced geometry: keep the SOMA:app node ratio of the
+            # 64-pipeline row, and damp the run-to-run noise so the
+            # config differences are not buried at this small scale.
+            exp = exp.with_updates(
+                soma_nodes=0 if mode == "none" else max(1, pipelines // 16),
+                params=exp.params.with_updates(noise_sigma=0.05),
+            )
+        print(f"running {label} with {pipelines} pipelines ...")
+        result = run_ddmd_experiment(exp, seed=5)
+        durations[label] = pipeline_durations(result)
+        if result.deployment.enabled:
+            hw = result.deployment.store(HARDWARE)
+            print(
+                f"  collected {len(hw)} hardware publishes from "
+                f"{len(hw.sources())} nodes"
+            )
+
+    print()
+    print(render_boxes(durations, title=f"pipeline runtimes, m={pipelines}"))
+
+    print("\noverhead vs baseline (paper: frequent-exclusive ~1.4-4.6%):")
+    baseline = durations.pop("none")
+    for result in compare_runtimes(baseline, durations):
+        direction = "speedup" if result.is_speedup else "overhead"
+        print(
+            f"  {result.config:20s} {result.overhead_percent:+6.2f}% "
+            f"({direction}; mean {result.config_mean:.1f}s vs "
+            f"{result.baseline_mean:.1f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)

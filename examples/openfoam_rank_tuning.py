@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Closing the loop: SOMA observations tune OpenFOAM task descriptions.
+
+Section 4.1 of the paper: "RP could collect information about MPI task
+performance, and utilize that information to change the task
+description, adjusting the number of ranks of each type of task in the
+workflow.  As shown by our experiments, that would allow to utilize
+the available resources better, thus reducing the total time to
+completion of the entire workflow."
+
+This example runs that loop with the :mod:`repro.adaptive` prototype:
+
+1. a *probe* wave runs one instance of each rank configuration;
+2. the :class:`RankTuningPolicy` scores the observed times and picks a
+   configuration;
+3. the remaining instances run at the chosen configuration —
+   vs. a static baseline that keeps the original mixed configurations.
+
+Run:  python examples/openfoam_rank_tuning.py
+"""
+
+from repro import Client, PilotDescription, Session
+from repro.adaptive import AdaptiveController, RankTuningPolicy
+from repro.platform import summit_like
+from repro.soma import SomaConfig, WORKFLOW, HARDWARE, deploy_soma, no_soma
+from repro.workloads import OpenFOAMParams, openfoam_task_description
+
+RANK_CONFIGS = (20, 41, 82, 164)
+REMAINING_INSTANCES = 12
+PARAMS = OpenFOAMParams()
+
+
+def run_adaptive(seed: int = 11) -> tuple[float, int]:
+    session = Session(cluster_spec=summit_like(6), seed=seed)
+    client = Client(session)
+    env = session.env
+
+    def main(env):
+        pilot = yield from client.submit_pilot(
+            PilotDescription(nodes=5, agent_nodes=1)
+        )
+        deployment = yield from deploy_soma(
+            client,
+            pilot,
+            SomaConfig(
+                namespaces=(WORKFLOW, HARDWARE),
+                monitors=("proc", "rp"),
+                monitoring_frequency=60.0,
+            ),
+        )
+        controller = AdaptiveController(
+            client, deployment, rank_policy=RankTuningPolicy(0.35)
+        )
+        start = env.now
+        # Probe wave: one instance per configuration.
+        probes = client.submit_tasks(
+            [
+                openfoam_task_description(r, params=PARAMS, name=f"probe-{r}")
+                for r in RANK_CONFIGS
+            ]
+        )
+        yield from client.wait_tasks(probes)
+        controller.observe_tasks(probes)
+        choice = controller.recommended_ranks()
+        # Production wave: everything at the tuned configuration.
+        production = client.submit_tasks(
+            [
+                openfoam_task_description(
+                    choice, params=PARAMS, name=f"prod-{i}"
+                )
+                for i in range(REMAINING_INSTANCES)
+            ]
+        )
+        yield from client.wait_tasks(production)
+        return env.now - start, choice
+
+    makespan, choice = env.run(env.process(main(env)))
+    client.close()
+    return makespan, choice
+
+
+def run_static(seed: int = 11) -> float:
+    session = Session(cluster_spec=summit_like(6), seed=seed)
+    client = Client(session)
+    env = session.env
+
+    def main(env):
+        yield from client.submit_pilot(
+            PilotDescription(nodes=5, agent_nodes=1)
+        )
+        start = env.now
+        descriptions = [
+            openfoam_task_description(r, params=PARAMS, name=f"probe-{r}")
+            for r in RANK_CONFIGS
+        ]
+        # Static: the remaining instances keep cycling the original
+        # mixed configurations (the user's a-priori choice).
+        for i in range(REMAINING_INSTANCES):
+            ranks = RANK_CONFIGS[i % len(RANK_CONFIGS)]
+            descriptions.append(
+                openfoam_task_description(
+                    ranks, params=PARAMS, name=f"static-{i}"
+                )
+            )
+        tasks = client.submit_tasks(descriptions)
+        yield from client.wait_tasks(tasks)
+        return env.now - start
+
+    makespan = env.run(env.process(main(env)))
+    client.close()
+    return makespan
+
+
+def main() -> None:
+    adaptive_makespan, choice = run_adaptive()
+    static_makespan = run_static()
+    print("OpenFOAM rank tuning on 5 compute nodes "
+          f"({len(RANK_CONFIGS)} probes + {REMAINING_INSTANCES} instances):")
+    print(f"  tuned configuration chosen : {choice} ranks")
+    print(f"  adaptive makespan          : {adaptive_makespan:8.1f}s")
+    print(f"  static (mixed) makespan    : {static_makespan:8.1f}s")
+    change = (static_makespan - adaptive_makespan) / static_makespan * 100
+    print(f"  improvement                : {change:8.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: run a monitored workflow on the simulated platform.
+
+Walks through the full stack in ~60 lines of user code:
+
+1. create a Session on a Summit-like cluster;
+2. submit a pilot (batch job -> agent bootstrap);
+3. deploy SOMA (service task + RP monitor + per-node hardware monitors);
+4. run a bag of application tasks;
+5. query the collected observability data, online and offline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Client, PilotDescription, Session, SomaConfig, TaskDescription
+from repro.platform import summit_like
+from repro.rp import ComputeModel
+from repro.soma import (
+    HARDWARE,
+    WORKFLOW,
+    cpu_utilization_series,
+    deploy_soma,
+    render_dashboard,
+    workflow_summary_series,
+)
+
+
+def main() -> None:
+    # A 6-node Summit-like machine (42 usable cores + 6 GPUs per node).
+    session = Session(cluster_spec=summit_like(6), seed=42)
+    client = Client(session)
+    env = session.env
+
+    def workflow(env):
+        # 1. Acquire resources: 4 compute nodes + 1 agent/SOMA node.
+        pilot = yield from client.submit_pilot(
+            PilotDescription(nodes=4, agent_nodes=1)
+        )
+        print(f"[{env.now:8.1f}s] pilot active on "
+              f"{[n.name for n in pilot.nodes]}")
+
+        # 2. Deploy SOMA: workflow + hardware namespaces, sampled
+        #    every 30 simulated seconds.
+        deployment = yield from deploy_soma(
+            client,
+            pilot,
+            SomaConfig(
+                namespaces=(WORKFLOW, HARDWARE),
+                monitors=("proc", "rp"),
+                monitoring_frequency=30.0,
+            ),
+        )
+        print(f"[{env.now:8.1f}s] SOMA service + "
+              f"{len(deployment.hw_monitor_tasks)} hardware monitors up")
+
+        # 3. Run application tasks: 8 memory-bound 20-rank jobs.
+        tasks = client.submit_tasks(
+            [
+                TaskDescription(
+                    name=f"solver-{i}",
+                    model=ComputeModel(120.0, mem_intensity=0.5),
+                    ranks=20,
+                )
+                for i in range(8)
+            ]
+        )
+        yield from client.wait_tasks(tasks)
+        print(f"[{env.now:8.1f}s] all {len(tasks)} tasks DONE")
+        for task in tasks[:3]:
+            print(f"    {task.uid}: {task.execution_time:6.1f}s "
+                  f"on {task.nodelist}")
+
+        # 4. One more monitoring cycle, then shut down.
+        yield env.timeout(35.0)
+        return deployment
+
+    proc = env.process(workflow(env))
+    deployment = env.run(proc)
+    client.close()
+
+    # 5. Offline analysis of what SOMA collected.
+    print("\n--- hardware namespace: per-node CPU utilization ---")
+    for host, points in sorted(
+        cpu_utilization_series(deployment.store(HARDWARE)).items()
+    ):
+        trace = " ".join(f"{p.cpu_utilization:4.2f}" for p in points[:10])
+        print(f"  {host}: {trace}")
+
+    print("\n--- workflow namespace: RP summary series ---")
+    for entry in workflow_summary_series(deployment.store(WORKFLOW)):
+        print(
+            f"  t={entry['time']:7.1f}s done={entry.get('done', 0):3.0f} "
+            f"running={entry.get('running', 0):3.0f} "
+            f"pending={entry.get('pending', 0):3.0f}"
+        )
+
+    print("\n--- one raw Conduit publish (Listing 2 shape) ---")
+    record = deployment.store(HARDWARE).latest()
+    print(record.data.render())
+
+    print("\n--- the SOMA dashboard view ---")
+    print(render_dashboard(deployment))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro: a full-stack reproduction of "Enabling Performance
+Observability for Heterogeneous HPC Workflows with SOMA" (ICPP 2024).
+
+The package contains every system the paper builds on, implemented in
+pure Python over a from-scratch discrete-event simulation:
+
+* :mod:`repro.sim` — the simulation kernel (processes, events, stores);
+* :mod:`repro.platform` — a Summit-like machine: nodes with core/GPU
+  maps and memory-bandwidth contention, a shared fabric, /proc, batch;
+* :mod:`repro.conduit` — the Conduit-style hierarchical data model;
+* :mod:`repro.messaging` — ZeroMQ-style queues and Mochi-style RPC;
+* :mod:`repro.rp` — the RADICAL-Pilot runtime (pilots, tasks, agent
+  scheduler/executor, profiles, service tasks, RAPTOR);
+* :mod:`repro.entk` — the EnTK ensemble layer (pipelines/stages);
+* :mod:`repro.soma` — the paper's contribution: the SOMA service,
+  client stub, namespaces, storage and online analysis;
+* :mod:`repro.monitors` — the hardware, RP-workflow and TAU clients;
+* :mod:`repro.workloads` — OpenFOAM/AdditiveFOAM and DeepDriveMD
+  mini-app models;
+* :mod:`repro.experiments` — the harnesses that regenerate every table
+  and figure of the paper's evaluation;
+* :mod:`repro.analysis` — timelines, statistics, overhead accounting.
+
+Quickstart::
+
+    from repro import Session, Client, PilotDescription
+    from repro.soma import SomaConfig, deploy_soma
+
+See ``examples/quickstart.py`` for a complete runnable walkthrough.
+"""
+
+from ._version import __version__
+from .rp import (
+    Client,
+    PilotDescription,
+    Session,
+    TaskDescription,
+    TaskState,
+)
+from .soma import SomaClient, SomaConfig, deploy_soma
+
+__all__ = [
+    "__version__",
+    "Client",
+    "PilotDescription",
+    "Session",
+    "SomaClient",
+    "SomaConfig",
+    "TaskDescription",
+    "TaskState",
+    "deploy_soma",
+]

@@ -1,0 +1,24 @@
+"""Adaptive workflows: the paper's future work, prototyped.
+
+"In future work, we plan to extend SOMA's support to develop adaptive
+workflows in RADICAL-Pilot ... to analyze performance metrics together
+with scientific progress measures to make smart scheduling and
+configuration decisions, including the altering of the workflow
+configuration on-the-fly" (paper Sec 6).
+"""
+
+from .controller import AdaptiveController
+from .policies import (
+    RankObservation,
+    RankTuningPolicy,
+    TrainingParallelismPolicy,
+    UtilizationAwarePlacement,
+)
+
+__all__ = [
+    "AdaptiveController",
+    "RankObservation",
+    "RankTuningPolicy",
+    "TrainingParallelismPolicy",
+    "UtilizationAwarePlacement",
+]

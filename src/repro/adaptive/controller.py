@@ -1,0 +1,120 @@
+"""The adaptive controller: SOMA observations driving RP decisions.
+
+Prototypes the closed loop the paper leaves as future work: a
+controller that consumes the SOMA namespaces online and (a) tunes MPI
+task descriptions from observed strong-scaling data, (b) resizes DDMD
+training parallelism between phases, and (c) installs
+utilization-aware placement into the agent scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..sim.core import Event, Interrupt
+from ..soma.analysis import free_resource_estimate
+from ..soma.namespaces import HARDWARE
+from .policies import (
+    RankTuningPolicy,
+    TrainingParallelismPolicy,
+    UtilizationAwarePlacement,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..rp.client import Client
+    from ..rp.task import Task
+    from ..soma.integration import SomaDeployment
+
+__all__ = ["AdaptiveController"]
+
+
+class AdaptiveController:
+    """Online decision-making on top of a SOMA deployment."""
+
+    def __init__(
+        self,
+        client: "Client",
+        deployment: "SomaDeployment",
+        rank_policy: RankTuningPolicy | None = None,
+        training_policy: TrainingParallelismPolicy | None = None,
+    ) -> None:
+        self.client = client
+        self.session = client.session
+        self.deployment = deployment
+        self.rank_policy = rank_policy or RankTuningPolicy()
+        self.training_policy = training_policy or TrainingParallelismPolicy()
+        #: Log of every decision taken, for post-run inspection.
+        self.decisions: list[dict] = []
+
+    # -- rank tuning (Fig 4 use case) -------------------------------------
+
+    def observe_tasks(self, tasks: "list[Task]") -> None:
+        """Feed completed MPI tasks into the rank-tuning policy."""
+        for task in tasks:
+            if task.is_final and task.execution_time is not None:
+                self.rank_policy.observe_task(task)
+
+    def recommended_ranks(self) -> int | None:
+        """Current best rank count (None before any observation)."""
+        choice = self.rank_policy.recommend()
+        if choice is not None:
+            self.decisions.append(
+                {
+                    "time": self.session.env.now,
+                    "kind": "rank_tuning",
+                    "ranks": choice,
+                    "observations": self.rank_policy.num_observations,
+                }
+            )
+        return choice
+
+    # -- training parallelism (adaptive DDMD) --------------------------------
+
+    def recommend_training_workers(self, window: float = 180.0) -> int:
+        """Training workers for the next phase, from live SOMA data."""
+        headroom: dict[str, float] = {}
+        if self.deployment.enabled:
+            headroom = free_resource_estimate(
+                self.deployment.store(HARDWARE),
+                window=window,
+                now=self.session.env.now,
+            )
+        free_gpus = sum(
+            node.free_gpus for node in self.client.pilot.compute_nodes
+        )
+        workers = self.training_policy.recommend(headroom, free_gpus)
+        self.decisions.append(
+            {
+                "time": self.session.env.now,
+                "kind": "training_parallelism",
+                "workers": workers,
+                "free_gpus": free_gpus,
+                "mean_headroom": (
+                    sum(headroom.values()) / len(headroom)
+                    if headroom
+                    else None
+                ),
+            }
+        )
+        return workers
+
+    # -- placement (Sec 4.2 suggestion) ------------------------------------------
+
+    def enable_utilization_aware_placement(self) -> None:
+        """Make the agent scheduler prefer the least-loaded nodes."""
+        scheduler = self.client.agent.scheduler
+        if scheduler is None:
+            raise RuntimeError("agent not bootstrapped")
+        scheduler.set_node_ranker(UtilizationAwarePlacement())
+        self.decisions.append(
+            {
+                "time": self.session.env.now,
+                "kind": "placement",
+                "policy": "utilization-aware",
+            }
+        )
+
+    def disable_utilization_aware_placement(self) -> None:
+        scheduler = self.client.agent.scheduler
+        if scheduler is not None:
+            scheduler.set_node_ranker(None)

@@ -1,0 +1,160 @@
+"""Adaptive policies: turning SOMA observations into decisions.
+
+The paper's conclusion sketches the plan: "analyze performance metrics
+together with scientific progress measures to make smart scheduling
+and configuration decisions, including the altering of the workflow
+configuration on-the-fly".  This module implements the three concrete
+decisions the paper's results motivate:
+
+* :class:`RankTuningPolicy` — Sec 4.1 / Fig 4: observe completed MPI
+  tasks and choose the rank count to use for the remaining instances
+  ("RP could collect information about MPI task performance, and
+  utilize that information to change the task description").
+* :class:`TrainingParallelismPolicy` — Sec 4.3 / Fig 9: with CPU
+  headroom high and GPUs the bottleneck, parallelize training across
+  free GPUs.
+* :class:`UtilizationAwarePlacement` — Sec 4.2 / Fig 8: "prioritizing
+  the use of the free CPUs on a node with comparably lower overall CPU
+  utilization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platform.node import Node
+    from ..rp.task import Task
+
+__all__ = [
+    "RankObservation",
+    "RankTuningPolicy",
+    "TrainingParallelismPolicy",
+    "UtilizationAwarePlacement",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RankObservation:
+    """One completed MPI task: its configuration and outcome."""
+
+    ranks: int
+    execution_time: float
+
+
+class RankTuningPolicy:
+    """Choose the MPI rank count from observed strong-scaling data.
+
+    The decision metric is *cost* = execution time × ranks (core-
+    seconds per instance), optionally trading cost for speed through
+    ``speedup_weight``: 0 picks the most efficient configuration,
+    1 picks the fastest.
+    """
+
+    def __init__(self, speedup_weight: float = 0.35) -> None:
+        if not 0.0 <= speedup_weight <= 1.0:
+            raise ValueError("speedup_weight must be in [0, 1]")
+        self.speedup_weight = speedup_weight
+        self._observations: list[RankObservation] = []
+
+    def observe(self, ranks: int, execution_time: float) -> None:
+        self._observations.append(RankObservation(ranks, execution_time))
+
+    def observe_task(self, task: "Task") -> None:
+        """Convenience: pull the configuration from an RP task."""
+        if task.execution_time is not None:
+            self.observe(task.description.ranks, task.execution_time)
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._observations)
+
+    def mean_times(self) -> dict[int, float]:
+        by_ranks: dict[int, list[float]] = {}
+        for obs in self._observations:
+            by_ranks.setdefault(obs.ranks, []).append(obs.execution_time)
+        return {r: float(np.mean(v)) for r, v in by_ranks.items()}
+
+    def recommend(self) -> int | None:
+        """The rank count to use next, or None without data.
+
+        Scores each observed configuration by a normalized blend of
+        core-seconds (efficiency) and wall time (speed); lowest wins.
+        """
+        means = self.mean_times()
+        if not means:
+            return None
+        times = np.array(list(means.values()))
+        ranks = np.array(list(means.keys()), dtype=float)
+        cost = times * ranks
+        cost_n = cost / cost.min()
+        time_n = times / times.min()
+        score = (1.0 - self.speedup_weight) * cost_n + (
+            self.speedup_weight * time_n
+        )
+        return int(ranks[int(np.argmin(score))])
+
+
+class TrainingParallelismPolicy:
+    """Pick the training-task count for the next DDMD phase."""
+
+    def __init__(
+        self,
+        max_workers: int = 6,
+        headroom_threshold: float = 0.5,
+        reduce_seconds: float = 7.0,
+        train_gpu_seconds: float = 260.0,
+    ) -> None:
+        self.max_workers = max_workers
+        self.headroom_threshold = headroom_threshold
+        self.reduce_seconds = reduce_seconds
+        self.train_gpu_seconds = train_gpu_seconds
+
+    def recommend(
+        self, cpu_headroom: dict[str, float], free_gpus: int
+    ) -> int:
+        """Workers for the next phase's training stage.
+
+        Parallelize only while (a) CPU headroom confirms the workload
+        is GPU-bound, (b) free GPUs exist, and (c) the marginal worker
+        still reduces the modeled training time (reduce overhead grows
+        with workers).
+        """
+        if not cpu_headroom:
+            return 1
+        if float(np.mean(list(cpu_headroom.values()))) < self.headroom_threshold:
+            return 1
+        best, best_time = 1, self._model_time(1)
+        limit = max(1, min(self.max_workers, free_gpus))
+        for workers in range(2, limit + 1):
+            t = self._model_time(workers)
+            if t < best_time:
+                best, best_time = workers, t
+        return best
+
+    def _model_time(self, workers: int) -> float:
+        import math
+
+        if workers <= 1:
+            return self.train_gpu_seconds
+        return self.train_gpu_seconds / workers + self.reduce_seconds * (
+            math.log2(workers + 1)
+        )
+
+
+class UtilizationAwarePlacement:
+    """Node ranking for the agent scheduler (Sec 4.2's suggestion).
+
+    Install via :meth:`repro.rp.agent.scheduler.AgentScheduler.set_node_ranker`;
+    first-fit then scans nodes from least to most utilized, so new
+    tasks land where memory-bandwidth pressure is lowest.
+    """
+
+    def __call__(self, nodes: "Sequence[Node]") -> "list[Node]":
+        return sorted(
+            nodes,
+            key=lambda n: (n.domain.pressure(), n.cpu_utilization()),
+        )

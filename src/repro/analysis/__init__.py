@@ -1,0 +1,45 @@
+"""Offline analysis: timelines, statistics, overhead, text reports."""
+
+from .critical_path import (
+    PipelineCriticalPath,
+    StagePath,
+    TaskBreakdown,
+    breakdown_task,
+    pipeline_critical_path,
+)
+from .overhead import OverheadResult, compare_runtimes, makespan_overhead
+from .report import render_boxes, render_series, render_table, sparkline
+from .stats import Summary, group_by, percent_change, summarize
+from .timeline import (
+    BOOTSTRAP,
+    CoreInterval,
+    RUNNING,
+    ResourceTimeline,
+    SCHEDULING,
+    build_timeline,
+)
+
+__all__ = [
+    "BOOTSTRAP",
+    "CoreInterval",
+    "OverheadResult",
+    "PipelineCriticalPath",
+    "StagePath",
+    "TaskBreakdown",
+    "breakdown_task",
+    "pipeline_critical_path",
+    "RUNNING",
+    "ResourceTimeline",
+    "SCHEDULING",
+    "Summary",
+    "build_timeline",
+    "compare_runtimes",
+    "group_by",
+    "makespan_overhead",
+    "percent_change",
+    "render_boxes",
+    "render_series",
+    "render_table",
+    "sparkline",
+    "summarize",
+]

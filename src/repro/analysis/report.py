@@ -1,0 +1,93 @@
+"""Plain-text rendering of tables and figure data.
+
+Every benchmark prints the paper's table rows / figure series through
+these helpers, so ``pytest benchmarks/ --benchmark-only`` output reads
+like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "render_boxes", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    columns = [
+        [str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Unicode sparkline of a numeric series."""
+    vals = list(values)
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[max(0, min(len(_BLOCKS) - 1, idx))])
+    return "".join(out)
+
+
+def render_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], unit: str = ""
+) -> str:
+    """One labelled series with a sparkline and endpoints."""
+    if not ys:
+        return f"{name}: (empty)"
+    return (
+        f"{name}: {sparkline(ys)}  "
+        f"[{min(ys):.2f}..{max(ys):.2f}]{unit} over x=[{xs[0]:g}..{xs[-1]:g}]"
+    )
+
+
+def render_boxes(
+    groups: dict[str, Sequence[float]], unit: str = "s", title: str = ""
+) -> str:
+    """Text 'box plot': per-group min/p25/median/p75/max."""
+    from .stats import summarize
+
+    rows = []
+    for name, values in groups.items():
+        s = summarize(values)
+        rows.append(
+            [
+                name,
+                s.count,
+                f"{s.minimum:.1f}",
+                f"{s.p25:.1f}",
+                f"{s.median:.1f}",
+                f"{s.p75:.1f}",
+                f"{s.maximum:.1f}",
+                f"{s.mean:.1f}",
+            ]
+        )
+    return render_table(
+        ["group", "n", "min", "p25", "median", "p75", "max", f"mean ({unit})"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,62 @@
+"""Statistics helpers shared by the experiment harness and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "group_by", "percent_change"]
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} std={self.std:.2f} "
+            f"min={self.minimum:.2f} p25={self.p25:.2f} "
+            f"med={self.median:.2f} p75={self.p75:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(values) -> Summary:
+    """Summary statistics of a sequence (empty -> zeros)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.percentile(arr, 50)),
+        p75=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+    )
+
+
+def group_by(pairs):
+    """[(key, value)] -> {key: [values]} preserving insertion order."""
+    out: dict = {}
+    for key, value in pairs:
+        out.setdefault(key, []).append(value)
+    return out
+
+
+def percent_change(baseline: float, value: float) -> float:
+    """(value - baseline) / baseline × 100; positive = overhead."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline * 100.0

@@ -1,0 +1,171 @@
+"""Command-line interface: run paper experiments from a shell.
+
+Usage::
+
+    python -m repro info
+    python -m repro openfoam --experiment tuning --seed 11
+    python -m repro ddmd --experiment adaptive
+    python -m repro scaling --pipelines 16 --modes none shared exclusive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Enabling Performance Observability for "
+            "Heterogeneous HPC Workflows with SOMA' (ICPP 2024)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the system inventory")
+
+    p_open = sub.add_parser("openfoam", help="run an OpenFOAM experiment")
+    p_open.add_argument(
+        "--experiment", choices=("tuning", "overload"), default="tuning"
+    )
+    p_open.add_argument("--seed", type=int, default=11)
+
+    p_ddmd = sub.add_parser("ddmd", help="run a DDMD mini-app experiment")
+    p_ddmd.add_argument(
+        "--experiment", choices=("tuning", "adaptive"), default="tuning"
+    )
+    p_ddmd.add_argument("--seed", type=int, default=7)
+
+    p_scale = sub.add_parser(
+        "scaling", help="run a Scaling-B style comparison"
+    )
+    p_scale.add_argument("--pipelines", type=int, default=16)
+    p_scale.add_argument(
+        "--modes",
+        nargs="+",
+        default=["none", "shared", "exclusive"],
+        choices=["none", "shared", "exclusive"],
+    )
+    p_scale.add_argument("--frequent", action="store_true")
+    p_scale.add_argument("--seed", type=int, default=5)
+    return parser
+
+
+def _cmd_info() -> int:
+    from . import __version__
+    from .platform import SUMMIT
+
+    print(f"repro {__version__} — SOMA/RP/EnTK reproduction stack")
+    print(
+        f"platform model: {SUMMIT.name}-like, "
+        f"{SUMMIT.node.usable_cores} usable cores + "
+        f"{SUMMIT.node.gpus} GPUs per node, "
+        f"memory-bandwidth capacity {SUMMIT.node.memory_bandwidth} "
+        "core-equivalents"
+    )
+    print("subsystems: sim, platform, conduit, messaging, rp, entk, "
+          "soma, monitors, workloads, adaptive, experiments, analysis")
+    print("benchmarks: one per paper table/figure "
+          "(pytest benchmarks/ --benchmark-only)")
+    return 0
+
+
+def _cmd_openfoam(args: argparse.Namespace) -> int:
+    from .analysis import render_boxes
+    from .experiments import (
+        OVERLOAD,
+        TUNING,
+        execution_times_by_ranks,
+        run_openfoam_experiment,
+    )
+
+    experiment = TUNING if args.experiment == "tuning" else OVERLOAD
+    print(f"running OpenFOAM '{experiment.name}' (seed {args.seed}) ...")
+    result = run_openfoam_experiment(experiment, seed=args.seed)
+    print(f"makespan: {result.makespan:.0f} simulated seconds")
+    times = execution_times_by_ranks(result)
+    print(
+        render_boxes(
+            {f"{r} ranks": v for r, v in sorted(times.items())},
+            title="execution time per configuration",
+        )
+    )
+    return 0
+
+
+def _cmd_ddmd(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .experiments import (
+        adaptive_experiment,
+        run_ddmd_experiment,
+        stage_durations,
+        tuning_experiment,
+    )
+
+    experiment = (
+        tuning_experiment()
+        if args.experiment == "tuning"
+        else adaptive_experiment()
+    )
+    print(f"running DDMD '{experiment.name}' (seed {args.seed}) ...")
+    result = run_ddmd_experiment(
+        experiment, seed=args.seed, adaptive_analysis=True
+    )
+    print(f"makespan: {result.makespan:.0f} simulated seconds")
+    rows = []
+    for stage in ("simulation", "training", "selection", "agent"):
+        durations = stage_durations(result, stage)
+        rows.append(
+            [stage, len(durations), f"{np.mean(durations):.1f}"]
+        )
+    print(render_table(["stage", "runs", "mean duration (s)"], rows))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from .analysis import compare_runtimes, render_boxes
+    from .experiments import SCALING_B, pipeline_durations, run_ddmd_experiment
+
+    durations: dict[str, list[float]] = {}
+    for mode in args.modes:
+        exp = SCALING_B(args.pipelines, mode, frequent=args.frequent)
+        if args.pipelines < 64:
+            exp = exp.with_updates(
+                soma_nodes=0 if mode == "none" else max(1, args.pipelines // 16),
+                soma_ranks_per_namespace=max(1, args.pipelines // 2),
+            )
+        print(f"running {mode} with {args.pipelines} pipelines ...")
+        result = run_ddmd_experiment(exp, seed=args.seed)
+        durations[mode] = pipeline_durations(result)
+    print(render_boxes(durations, title="pipeline runtimes"))
+    if "none" in durations and len(durations) > 1:
+        baseline = durations.pop("none")
+        for res in compare_runtimes(baseline, durations):
+            print(
+                f"{res.config:12s} {res.overhead_percent:+6.2f}% vs baseline"
+            )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "openfoam":
+        return _cmd_openfoam(args)
+    if args.command == "ddmd":
+        return _cmd_ddmd(args)
+    if args.command == "scaling":
+        return _cmd_scaling(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Conduit-style hierarchical data model (paper Sec 2.2.2).
+
+All monitoring payloads in the SOMA stack are :class:`Node` trees,
+mirroring how the paper uses ``Conduit::Node`` to give each monitoring
+namespace its own logical tree that can be merged during analysis.
+"""
+
+from .node import Node, PathError
+
+__all__ = ["Node", "PathError"]

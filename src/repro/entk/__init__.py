@@ -1,0 +1,7 @@
+"""RADICAL-EnTK-style ensemble toolkit on top of the RP substrate."""
+
+from .appmanager import AppManager
+from .pipeline import Pipeline
+from .stage import Stage
+
+__all__ = ["AppManager", "Pipeline", "Stage"]

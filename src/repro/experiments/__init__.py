@@ -1,0 +1,46 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .ddmd_exps import (
+    DDMD_ADAPTIVE_TRAIN_COUNTS,
+    DDMD_TUNING_PHASES,
+    DDMDExperiment,
+    SCALING_A,
+    SCALING_B,
+    adaptive_experiment,
+    build_pipelines,
+    pipeline_durations,
+    run_ddmd_experiment,
+    stage_durations,
+    tuning_experiment,
+)
+from .harness import WorkflowResult, run_workflow
+from .openfoam_exps import (
+    OVERLOAD,
+    OpenFOAMExperiment,
+    TUNING,
+    execution_times_by_ranks,
+    execution_times_by_spread,
+    run_openfoam_experiment,
+)
+
+__all__ = [
+    "DDMD_ADAPTIVE_TRAIN_COUNTS",
+    "DDMD_TUNING_PHASES",
+    "DDMDExperiment",
+    "OVERLOAD",
+    "OpenFOAMExperiment",
+    "SCALING_A",
+    "SCALING_B",
+    "TUNING",
+    "WorkflowResult",
+    "adaptive_experiment",
+    "build_pipelines",
+    "execution_times_by_ranks",
+    "execution_times_by_spread",
+    "pipeline_durations",
+    "run_ddmd_experiment",
+    "run_openfoam_experiment",
+    "run_workflow",
+    "stage_durations",
+    "tuning_experiment",
+]

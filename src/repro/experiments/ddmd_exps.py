@@ -1,0 +1,272 @@
+"""DeepDriveMD mini-app experiments (paper Sec 3.2, Table 2, Figs 9-11).
+
+Four experiment families:
+
+* **Tuning** (Fig 9) — 6 phases × 1 pipeline on 2 app nodes (+1 SOMA
+  node), varying cores per simulation task (1/3/7) and per training
+  task (7 then 3); CPU utilization stays low because the work is on
+  the GPUs.
+* **Adaptive** — 4 phases × 1 pipeline, training tasks 1/2/4/6 set a
+  priori; online SOMA analysis runs between phases.
+* **Scaling A** (Fig 10) — 1 phase × 64 pipelines on 64 app nodes,
+  SOMA nodes 1/2/4 (ranks : pipelines from 1:1 to 1:8... i.e. 16, 32,
+  64 ranks per namespace), shared vs exclusive.
+* **Scaling B** (Fig 11) — 1 phase × m pipelines on m app nodes for
+  m = 64..512, SOMA nodes 4/7/13/25 with a steady 1:1 rank:pipeline
+  ratio, in none / shared / exclusive configurations at 60 s and the
+  "frequent" variants at 10 s.
+
+Each pipeline's simulation stage needs 12 GPUs but its node only has
+6, so the stage runs as two waves — the oversubscription that makes
+the shared configurations interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Generator
+
+from ..entk.appmanager import AppManager
+from ..entk.pipeline import Pipeline
+from ..entk.stage import Stage
+from ..rp.client import Client
+from ..sim.core import Event
+from ..soma.analysis import free_resource_estimate
+from ..soma.integration import SomaDeployment
+from ..soma.namespaces import HARDWARE, WORKFLOW
+from ..soma.service import SomaConfig
+from ..workloads.ddmd import DDMDParams, ddmd_phase_stages
+from .harness import WorkflowResult, run_workflow
+
+__all__ = [
+    "DDMDExperiment",
+    "DDMD_TUNING_PHASES",
+    "DDMD_ADAPTIVE_TRAIN_COUNTS",
+    "SCALING_A",
+    "SCALING_B",
+    "run_ddmd_experiment",
+    "build_pipelines",
+    "pipeline_durations",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DDMDExperiment:
+    """One DDMD run configuration (a cell of Table 2)."""
+
+    name: str
+    phases: int = 1
+    pipelines: int = 1
+    app_nodes: int = 2
+    soma_nodes: int = 1
+    #: 'none' (baseline), 'shared', or 'exclusive'.
+    soma_mode: str = "exclusive"
+    soma_ranks_per_namespace: int = 1
+    monitoring_frequency: float = 60.0
+    params: DDMDParams = field(default_factory=DDMDParams)
+    #: Per-phase overrides applied to ``params`` (list of dicts).
+    phase_overrides: tuple[dict, ...] = ()
+
+    def with_updates(self, **kwargs) -> "DDMDExperiment":
+        return replace(self, **kwargs)
+
+    @property
+    def monitored(self) -> bool:
+        return self.soma_mode != "none"
+
+    def soma_config(self) -> SomaConfig | None:
+        if not self.monitored:
+            return None
+        return SomaConfig(
+            ranks_per_namespace=self.soma_ranks_per_namespace,
+            namespaces=(WORKFLOW, HARDWARE),
+            monitoring_frequency=self.monitoring_frequency,
+            monitors=("proc", "rp"),
+        )
+
+    def params_for_phase(self, phase: int) -> DDMDParams:
+        if phase < len(self.phase_overrides):
+            return self.params.with_updates(**self.phase_overrides[phase])
+        return self.params
+
+
+#: Fig 9's six phases: train cores 7 (gray) then 3 (green), sim cores
+#: 1 / 3 / 7 (light -> dark shading) within each.
+DDMD_TUNING_PHASES: tuple[dict, ...] = (
+    {"cores_per_train_task": 7, "cores_per_sim_task": 1},
+    {"cores_per_train_task": 7, "cores_per_sim_task": 3},
+    {"cores_per_train_task": 7, "cores_per_sim_task": 7},
+    {"cores_per_train_task": 3, "cores_per_sim_task": 1},
+    {"cores_per_train_task": 3, "cores_per_sim_task": 3},
+    {"cores_per_train_task": 3, "cores_per_sim_task": 7},
+)
+
+#: The adaptive experiment's a-priori training task counts per phase.
+DDMD_ADAPTIVE_TRAIN_COUNTS = (1, 2, 4, 6)
+
+
+def tuning_experiment() -> DDMDExperiment:
+    """Table 2 "Tuning": 6 phases, 1 pipeline, 2 app + 1 SOMA node."""
+    return DDMDExperiment(
+        name="tuning",
+        phases=6,
+        pipelines=1,
+        app_nodes=2,
+        soma_nodes=1,
+        soma_mode="exclusive",
+        soma_ranks_per_namespace=1,
+        monitoring_frequency=60.0,
+        phase_overrides=DDMD_TUNING_PHASES,
+    )
+
+
+def adaptive_experiment() -> DDMDExperiment:
+    """Table 2 "Adaptive": 4 phases, train tasks 1/2/4/6."""
+    return DDMDExperiment(
+        name="adaptive",
+        phases=4,
+        pipelines=1,
+        app_nodes=2,
+        soma_nodes=1,
+        soma_mode="exclusive",
+        soma_ranks_per_namespace=1,
+        monitoring_frequency=60.0,
+        params=DDMDParams(cores_per_sim_task=6, cores_per_train_task=1),
+        phase_overrides=tuple(
+            {"num_train_tasks": k} for k in DDMD_ADAPTIVE_TRAIN_COUNTS
+        ),
+    )
+
+
+def SCALING_A(
+    soma_nodes: int, mode: str, pipelines: int = 64
+) -> DDMDExperiment:
+    """Table 2 "Scaling A": 64 pipelines, SOMA ranks 16 x soma_nodes."""
+    return DDMDExperiment(
+        name=f"scaling-a-{mode}-{soma_nodes}n",
+        phases=1,
+        pipelines=pipelines,
+        app_nodes=pipelines,
+        soma_nodes=soma_nodes,
+        soma_mode=mode,
+        # Table 2: total SOMA ranks 16/32/64, split over 2 namespaces.
+        soma_ranks_per_namespace=8 * soma_nodes,
+        monitoring_frequency=60.0,
+        # Wide run-to-run variation, as the mini-app exhibits at scale
+        # (the paper's Figs 10/11 distributions are broad).
+        params=DDMDParams(
+            cores_per_sim_task=3, cores_per_train_task=7, noise_sigma=0.25
+        ),
+    )
+
+
+def SCALING_B(
+    pipelines: int, mode: str, frequent: bool = False
+) -> DDMDExperiment:
+    """Table 2 "Scaling B": steady 1:1 SOMA-rank : pipeline ratio."""
+    soma_nodes_map = {64: 4, 128: 7, 256: 13, 512: 25}
+    return DDMDExperiment(
+        name=(
+            f"scaling-b-{mode}{'-frequent' if frequent else ''}-{pipelines}p"
+        ),
+        phases=1,
+        pipelines=pipelines,
+        app_nodes=pipelines,
+        soma_nodes=0 if mode == "none" else soma_nodes_map.get(
+            pipelines, max(1, (pipelines * 2 + 41) // 42)
+        ),
+        soma_mode=mode,
+        # "We kept the ratio of SOMA ranks to pipelines at 1:1": the
+        # Table's rank total, split over the two namespaces used.
+        soma_ranks_per_namespace=max(1, pipelines // 2),
+        monitoring_frequency=10.0 if frequent else 60.0,
+        params=DDMDParams(
+            cores_per_sim_task=3, cores_per_train_task=7, noise_sigma=0.25
+        ),
+    )
+
+
+def build_pipelines(experiment: DDMDExperiment) -> list[Pipeline]:
+    """n phases × 4 stages inside each of m pipelines (Fig 3)."""
+    pipelines = []
+    for p in range(experiment.pipelines):
+        pipeline = Pipeline(name=f"ddmd-p{p}")
+        for phase in range(experiment.phases):
+            params = experiment.params_for_phase(phase)
+            for stage_name, tasks in ddmd_phase_stages(
+                params, phase_index=phase, pipeline=p
+            ):
+                pipeline.add_stage(Stage(name=stage_name, tasks=tasks))
+        pipelines.append(pipeline)
+    return pipelines
+
+
+def run_ddmd_experiment(
+    experiment: DDMDExperiment,
+    seed: int = 42,
+    adaptive_analysis: bool = False,
+) -> WorkflowResult:
+    """Run one DDMD configuration end to end.
+
+    With ``adaptive_analysis=True`` the harness queries SOMA between
+    phases for free-resource estimates (the paper's Adaptive setup) and
+    stores them in the result payload.
+    """
+    analyses: list[dict] = []
+
+    def workload(
+        client: Client, deployment: SomaDeployment
+    ) -> Generator[Event, None, dict]:
+        session = client.session
+
+        def between_phases(pipeline: Pipeline, phase: int) -> None:
+            if not adaptive_analysis or not deployment.enabled:
+                return
+            headroom = free_resource_estimate(
+                deployment.store(HARDWARE),
+                window=3 * experiment.monitoring_frequency,
+                now=session.env.now,
+            )
+            analyses.append(
+                {
+                    "pipeline": pipeline.uid,
+                    "phase": phase,
+                    "time": session.env.now,
+                    "headroom": headroom,
+                }
+            )
+
+        manager = AppManager(
+            client, stages_per_phase=4, between_phases=between_phases
+        )
+        pipelines = build_pipelines(experiment)
+        yield from manager.run(pipelines)
+        return {
+            "pipelines": pipelines,
+            "manager": manager,
+            "analyses": analyses,
+        }
+
+    return run_workflow(
+        workload,
+        nodes=experiment.app_nodes,
+        agent_nodes=1,
+        service_nodes=experiment.soma_nodes,
+        share_service_nodes=(experiment.soma_mode == "shared"),
+        soma_config=experiment.soma_config(),
+        seed=seed,
+    )
+
+
+def pipeline_durations(result: WorkflowResult) -> list[float]:
+    """Fig 10/11 y-axis: per-pipeline end-to-end times."""
+    return [
+        p.duration
+        for p in result.payload["pipelines"]
+        if p.duration is not None
+    ]
+
+
+def stage_durations(result: WorkflowResult, stage: str) -> list[float]:
+    manager: AppManager = result.payload["manager"]
+    return manager.stage_durations(stage)

@@ -1,0 +1,18 @@
+"""Communication substrates: ZeroMQ-style queues and Mochi-style RPC."""
+
+from .protocol import Message, RPCError, RPCRequest, RPCResponse
+from .queues import ComponentQueue, QueueRegistry
+from .rpc import RPCClient, RPCRegistry, RPCServer, ServerStats
+
+__all__ = [
+    "ComponentQueue",
+    "Message",
+    "QueueRegistry",
+    "RPCClient",
+    "RPCError",
+    "RPCRegistry",
+    "RPCRequest",
+    "RPCResponse",
+    "RPCServer",
+    "ServerStats",
+]

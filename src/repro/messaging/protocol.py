@@ -1,0 +1,50 @@
+"""Message envelopes shared by the queue and RPC layers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "RPCRequest", "RPCResponse", "RPCError"]
+
+_msg_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Message:
+    """A message on a component queue (RP's ZeroMQ-style pipes)."""
+
+    topic: str
+    body: Any
+    sender: str = ""
+    sent_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_msg_ids))
+
+
+@dataclass(slots=True)
+class RPCRequest:
+    """A remote procedure call in flight."""
+
+    method: str
+    payload_bytes: float
+    body: Any
+    client: str
+    sent_at: float
+    uid: int = field(default_factory=lambda: next(_msg_ids))
+
+
+@dataclass(slots=True)
+class RPCResponse:
+    """The reply to one :class:`RPCRequest`."""
+
+    request_uid: int
+    ok: bool
+    body: Any
+    served_by: str = ""
+    service_time: float = 0.0
+    queue_time: float = 0.0
+
+
+class RPCError(Exception):
+    """Raised on the client when a call fails (bad method, dead server)."""

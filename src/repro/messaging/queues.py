@@ -1,0 +1,72 @@
+"""ZeroMQ-style component queues.
+
+RP's components "exchange data via queues implemented with ZeroMQ —
+each component gets its inputs via a queue and pushes its output to
+another component's queue" (paper Sec 2.3.1).  A :class:`ComponentQueue`
+is a named FIFO with a small configurable enqueue latency, which is all
+the semantics RP needs from ZeroMQ here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sim.core import Environment, Event
+from ..sim.stores import Store
+from .protocol import Message
+
+__all__ = ["ComponentQueue", "QueueRegistry"]
+
+
+class ComponentQueue:
+    """Named FIFO between two components with per-hop latency."""
+
+    def __init__(
+        self, env: Environment, name: str, latency: float = 1e-4
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.latency = latency
+        self._store = Store(env)
+        self.enqueued = 0
+        self.dequeued = 0
+
+    def put(self, topic: str, body: Any, sender: str = "") -> None:
+        """Fire-and-forget enqueue (arrives ``latency`` later)."""
+        msg = Message(topic=topic, body=body, sender=sender, sent_at=self.env.now)
+        self.enqueued += 1
+
+        def deliver() -> Generator[Event, None, None]:
+            if self.latency > 0:
+                yield self.env.timeout(self.latency)
+            yield self._store.put(msg)
+
+        self.env.process(deliver(), name=f"q-{self.name}-put")
+
+    def get(self) -> Generator[Event, None, Message]:
+        """Wait for the next message (process generator)."""
+        msg: Message = yield self._store.get()
+        self.dequeued += 1
+        return msg
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class QueueRegistry:
+    """All queues of one RP session, addressable by name."""
+
+    def __init__(self, env: Environment, latency: float = 1e-4) -> None:
+        self.env = env
+        self.latency = latency
+        self._queues: dict[str, ComponentQueue] = {}
+
+    def queue(self, name: str) -> ComponentQueue:
+        q = self._queues.get(name)
+        if q is None:
+            q = ComponentQueue(self.env, name, self.latency)
+            self._queues[name] = q
+        return q
+
+    def names(self) -> list[str]:
+        return list(self._queues)

@@ -1,0 +1,268 @@
+"""Mochi/Margo-style RPC engine on the simulated fabric.
+
+SOMA's service implementation builds on the Mochi microservice
+framework, whose RPCs ride RDMA-capable transports (paper Sec 2.2).
+The model here preserves what the overhead experiments exercise:
+
+* the request payload crosses the shared :class:`~repro.platform.network.Network`;
+* the server has a fixed number of *ranks* (worker processes) — a
+  request waits for a free rank, then occupies it for a service time
+  proportional to the payload;
+* the (small) response crosses the fabric back.
+
+Server-side service time is also charged as CPU work on the node the
+server rank lives on, so SOMA service ranks show up in /proc and in
+the shared-node contention domain — this is exactly what makes the
+"shared" configurations of Figs 10/11 interesting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator
+
+from ..sim.core import Environment, Event
+from ..sim.resources import Resource
+from ..sim.stores import Store
+from ..platform.network import Network
+from ..platform.node import Node
+from .protocol import RPCError, RPCRequest, RPCResponse
+
+__all__ = ["RPCServer", "RPCClient", "RPCRegistry", "ServerStats"]
+
+#: Fallback per-call CPU service time (seconds) for an empty payload.
+DEFAULT_BASE_SERVICE_TIME = 2e-4
+#: Fallback incremental CPU time per payload byte.
+DEFAULT_PER_BYTE_SERVICE_TIME = 2e-9
+#: Size of a response envelope in bytes.
+RESPONSE_BYTES = 256.0
+
+
+class ServerStats:
+    """Aggregate accounting for one RPC server."""
+
+    __slots__ = ("calls", "bytes", "busy_time", "queue_time", "errors")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.bytes = 0.0
+        self.busy_time = 0.0
+        self.queue_time = 0.0
+        self.errors = 0
+
+    @property
+    def mean_queue_time(self) -> float:
+        return self.queue_time / self.calls if self.calls else 0.0
+
+
+class RPCServer:
+    """An addressable RPC endpoint with a pool of worker ranks.
+
+    Parameters
+    ----------
+    node:
+        The compute node hosting the server ranks; service time is
+        charged there as CPU work so the ranks contend realistically.
+    ranks:
+        Number of concurrent worker processes.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        node: Node | None,
+        name: str,
+        ranks: int = 1,
+        base_service_time: float = DEFAULT_BASE_SERVICE_TIME,
+        per_byte_service_time: float = DEFAULT_PER_BYTE_SERVICE_TIME,
+    ) -> None:
+        if ranks <= 0:
+            raise ValueError("server needs at least one rank")
+        self.env = env
+        self.network = network
+        self.node = node
+        self.name = name
+        self.address = f"ofi+verbs://{name}.{next(RPCServer._ids)}"
+        self.ranks = ranks
+        self.base_service_time = base_service_time
+        self.per_byte_service_time = per_byte_service_time
+        self._workers = Resource(env, capacity=ranks)
+        self._handlers: dict[str, Callable[[RPCRequest], Any]] = {}
+        self.stats = ServerStats()
+        self.alive = True
+
+    def register(self, method: str, handler: Callable[[RPCRequest], Any]) -> None:
+        """Expose ``handler`` under ``method``."""
+        self._handlers[method] = handler
+
+    def shutdown(self) -> None:
+        """Stop accepting calls (in-flight calls complete)."""
+        self.alive = False
+
+    def service_time_for(self, payload_bytes: float) -> float:
+        return self.base_service_time + payload_bytes * self.per_byte_service_time
+
+    def _serve(
+        self, request: RPCRequest
+    ) -> Generator[Event, None, RPCResponse]:
+        """Server-side handling: queue for a rank, work, reply."""
+        arrival = self.env.now
+        with self._workers.request() as slot:
+            yield slot
+            queue_time = self.env.now - arrival
+            handler = self._handlers.get(request.method)
+            if handler is None:
+                self.stats.errors += 1
+                return RPCResponse(
+                    request_uid=request.uid,
+                    ok=False,
+                    body=RPCError(f"no such method {request.method!r}"),
+                    served_by=self.name,
+                    queue_time=queue_time,
+                )
+            service_time = self.service_time_for(request.payload_bytes)
+            start = self.env.now
+            if self.node is not None and service_time > 0:
+                act = self.node.run_compute(
+                    cores=1,
+                    work=service_time * self.node.spec.core_speed,
+                    mem_intensity=0.2,
+                    tag=f"rpc:{self.name}",
+                )
+                yield act.done
+            elif service_time > 0:
+                yield self.env.timeout(service_time)
+            try:
+                body = handler(request)
+                ok = True
+            except Exception as exc:  # handler bug → error response
+                body = exc
+                ok = False
+                self.stats.errors += 1
+            elapsed = self.env.now - start
+            self.stats.calls += 1
+            self.stats.bytes += request.payload_bytes
+            self.stats.busy_time += elapsed
+            self.stats.queue_time += queue_time
+            return RPCResponse(
+                request_uid=request.uid,
+                ok=ok,
+                body=body,
+                served_by=self.name,
+                service_time=elapsed,
+                queue_time=queue_time,
+            )
+
+
+class RPCClient:
+    """Client stub: translates API calls into simulated RPCs.
+
+    Mirrors the paper's client stub, which "runs within the address
+    space of the component being instrumented and requires no
+    additional computational resources"; the optional ``node`` lets the
+    *standalone-binary* variant charge its serialization CPU cost.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        name: str,
+        node: Node | None = None,
+        serialize_cost_per_byte: float = 1e-9,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.name = name
+        self.node = node
+        self.serialize_cost_per_byte = serialize_cost_per_byte
+        self.calls = 0
+        self.failures = 0
+        self.total_rtt = 0.0
+
+    def call(
+        self,
+        server: RPCServer,
+        method: str,
+        body: Any = None,
+        payload_bytes: float = 1024.0,
+    ) -> Generator[Event, None, RPCResponse]:
+        """Synchronous RPC (process generator): returns the response."""
+        if not server.alive:
+            self.failures += 1
+            raise RPCError(f"server {server.name} is not accepting calls")
+        start = self.env.now
+        request = RPCRequest(
+            method=method,
+            payload_bytes=payload_bytes,
+            body=body,
+            client=self.name,
+            sent_at=start,
+        )
+        # Client-side serialization cost (charged on our node if any).
+        ser = payload_bytes * self.serialize_cost_per_byte
+        if ser > 0 and self.node is not None:
+            act = self.node.inject_jitter(cpu_seconds=ser)
+            yield act.done
+        elif ser > 0:
+            yield self.env.timeout(ser)
+        # Request over the wire.
+        yield from self.network.transfer(
+            payload_bytes, messages=1, tag=f"rpc:{method}"
+        )
+        # Server-side processing.
+        response = yield from server._serve(request)
+        # Response back over the wire.
+        yield from self.network.transfer(
+            RESPONSE_BYTES, messages=1, tag=f"rpc:{method}:resp"
+        )
+        self.calls += 1
+        rtt = self.env.now - start
+        self.total_rtt += rtt
+        if not response.ok and isinstance(response.body, RPCError):
+            self.failures += 1
+            raise response.body
+        return response
+
+    @property
+    def mean_rtt(self) -> float:
+        return self.total_rtt / self.calls if self.calls else 0.0
+
+
+class RPCRegistry:
+    """Service discovery: how RP makes service addresses known.
+
+    The paper notes service tasks must publish their RPC addresses
+    before clients can connect (Sec 2.3.1); this registry is that
+    mechanism.  ``lookup`` blocks until the named server registers.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._servers: dict[str, RPCServer] = {}
+        self._waiters: dict[str, list[Event]] = {}
+
+    def publish(self, server: RPCServer) -> None:
+        self._servers[server.name] = server
+        for event in self._waiters.pop(server.name, []):
+            if not event.triggered:
+                event.succeed(server)
+
+    def lookup(self, name: str) -> Generator[Event, None, RPCServer]:
+        """Wait until ``name`` is registered, then return its server."""
+        server = self._servers.get(name)
+        if server is not None:
+            return server
+        event = self.env.event()
+        self._waiters.setdefault(name, []).append(event)
+        server = yield event
+        return server
+
+    def try_lookup(self, name: str) -> RPCServer | None:
+        return self._servers.get(name)
+
+    def names(self) -> list[str]:
+        return list(self._servers)

@@ -1,0 +1,96 @@
+"""Time-weighted meters for utilization accounting.
+
+A :class:`StepIntegrator` tracks a step function (e.g. "busy cores on
+node 7") and can report its time integral — exactly what a /proc-style
+sampler needs to turn cumulative jiffies into interval utilization.
+"""
+
+from __future__ import annotations
+
+from ..sim.core import Environment
+
+__all__ = ["StepIntegrator", "EventCounter"]
+
+
+class StepIntegrator:
+    """Integrates a piecewise-constant signal over simulated time."""
+
+    __slots__ = ("env", "value", "_integral", "_last_time", "_samples")
+
+    def __init__(self, env: Environment, initial: float = 0.0) -> None:
+        self.env = env
+        self.value = float(initial)
+        self._integral = 0.0
+        self._last_time = env.now
+        self._samples: list[tuple[float, float]] = [(env.now, float(initial))]
+
+    def _advance(self) -> None:
+        now = self.env.now
+        if now > self._last_time:
+            self._integral += self.value * (now - self._last_time)
+            self._last_time = now
+
+    def add(self, delta: float) -> None:
+        """Shift the signal by ``delta`` at the current time."""
+        self._advance()
+        self.value += delta
+        self._samples.append((self.env.now, self.value))
+
+    def set(self, value: float) -> None:
+        self._advance()
+        self.value = float(value)
+        self._samples.append((self.env.now, self.value))
+
+    @property
+    def integral(self) -> float:
+        """Integral of the signal from t=0 to now."""
+        self._advance()
+        return self._integral
+
+    def mean(self, since: float = 0.0) -> float:
+        """Time-average of the signal from ``since`` to now."""
+        self._advance()
+        span = self._last_time - since
+        if span <= 0:
+            return self.value
+        # Integrate the recorded history over [since, now].
+        total = 0.0
+        prev_t, prev_v = self._samples[0]
+        for t, v in self._samples[1:]:
+            lo, hi = max(prev_t, since), t
+            if hi > lo:
+                total += prev_v * (hi - lo)
+            prev_t, prev_v = t, v
+        if self._last_time > prev_t:
+            lo = max(prev_t, since)
+            total += prev_v * (self._last_time - lo)
+        return total / span
+
+    def history(self) -> list[tuple[float, float]]:
+        """The recorded (time, value) transition list."""
+        return list(self._samples)
+
+
+class EventCounter:
+    """Counts events and remembers their timestamps (bounded)."""
+
+    __slots__ = ("env", "count", "timestamps", "_keep")
+
+    def __init__(self, env: Environment, keep: int = 100000) -> None:
+        self.env = env
+        self.count = 0
+        self.timestamps: list[float] = []
+        self._keep = keep
+
+    def hit(self) -> None:
+        self.count += 1
+        if len(self.timestamps) < self._keep:
+            self.timestamps.append(self.env.now)
+
+    def rate(self, window: float) -> float:
+        """Events per second over the trailing ``window`` seconds."""
+        if window <= 0:
+            return 0.0
+        cutoff = self.env.now - window
+        recent = sum(1 for t in self.timestamps if t >= cutoff)
+        return recent / window

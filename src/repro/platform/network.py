@@ -1,0 +1,99 @@
+"""Interconnect model: per-node injection caps over a tapered fabric.
+
+Transfers share one fabric-wide :class:`FairShareChannel` whose
+capacity is ``link_bandwidth * nodes ** taper_exponent`` (a tapered fat
+tree); each transfer is additionally capped at the injection bandwidth
+of a single node.  Message latency and per-message software overhead
+are charged up front.
+
+Everything that moves bytes — MPI halo exchanges inside application
+tasks, SOMA client publishes, RP control traffic — goes through this
+one object, so monitoring traffic and application traffic interfere
+exactly as they would on a shared fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.core import Environment, Event
+from .metering import EventCounter
+from .rateshare import FairShareChannel
+from .specs import NetworkSpec
+
+__all__ = ["Network", "TransferStats"]
+
+
+class TransferStats:
+    """Aggregate accounting of everything that crossed the fabric."""
+
+    __slots__ = ("transfers", "bytes", "by_tag")
+
+    def __init__(self) -> None:
+        self.transfers = 0
+        self.bytes = 0.0
+        self.by_tag: dict[str, tuple[int, float]] = {}
+
+    def record(self, tag: str, nbytes: float) -> None:
+        self.transfers += 1
+        self.bytes += nbytes
+        count, total = self.by_tag.get(tag, (0, 0.0))
+        self.by_tag[tag] = (count + 1, total + nbytes)
+
+
+class Network:
+    """Shared interconnect for a cluster."""
+
+    def __init__(self, env: Environment, spec: NetworkSpec, nodes: int) -> None:
+        self.env = env
+        self.spec = spec
+        self.nodes = nodes
+        bisection = spec.link_bandwidth * max(1, nodes) ** spec.taper_exponent
+        self.fabric = FairShareChannel(env, capacity=bisection)
+        self.stats = TransferStats()
+        self.messages = EventCounter(env, keep=0)
+
+    @property
+    def bisection_bandwidth(self) -> float:
+        return self.fabric.capacity
+
+    def transfer(
+        self,
+        nbytes: float,
+        messages: int = 1,
+        tag: str = "data",
+    ) -> Generator[Event, None, float]:
+        """Move ``nbytes`` (in ``messages`` messages) across the fabric.
+
+        This is a process generator: ``yield from net.transfer(...)`` or
+        ``env.process(net.transfer(...))``.  Returns the elapsed time.
+        """
+        start = self.env.now
+        self.stats.record(tag, nbytes)
+        self.messages.hit()
+        overhead = self.spec.latency + self.spec.message_overhead * max(1, messages)
+        if overhead > 0:
+            yield self.env.timeout(overhead)
+        if nbytes > 0:
+            act = self.fabric.execute(
+                work=float(nbytes),
+                weight=1.0,
+                tag=tag,
+                rate_cap=self.spec.link_bandwidth,
+            )
+            yield act.done
+        return self.env.now - start
+
+    def estimate_time(self, nbytes: float, messages: int = 1) -> float:
+        """Uncongested transfer-time estimate (for schedulers/models)."""
+        overhead = self.spec.latency + self.spec.message_overhead * max(1, messages)
+        return overhead + nbytes / self.spec.link_bandwidth
+
+    def pressure(self) -> float:
+        """Current fabric demand relative to capacity."""
+        active = len(self.fabric.active)
+        if active == 0:
+            return 0.0
+        return min(
+            1.0, active * self.spec.link_bandwidth / self.fabric.capacity
+        )

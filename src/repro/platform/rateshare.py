@@ -1,0 +1,331 @@
+"""Progress-based execution of activities whose rate can change.
+
+This is the numerical heart of the platform model.  An activity has a
+fixed amount of *work*; its instantaneous rate depends on the set of
+co-resident activities (memory-bandwidth contention on a node, link
+sharing on the network).  Whenever membership changes, every activity's
+remaining work is advanced at the old rate and its completion event is
+re-scheduled at the new rate.
+
+Two sharing disciplines are provided:
+
+* :class:`FairShareChannel` — capacity split equally among active
+  activities (network links).
+* :class:`ContentionDomain` — each activity runs at
+  ``1 / ((1 - m) + m * max(1, D))`` of nominal speed, where ``m`` is the
+  activity's memory intensity and ``D`` the total relative bandwidth
+  demand on the domain (compute nodes).  This reproduces the classic
+  roofline-style slowdown of co-scheduled memory-bound ranks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any
+
+from ..sim.core import Environment, Event
+
+__all__ = ["Activity", "RatePool", "FairShareChannel", "ContentionDomain"]
+
+
+class Activity:
+    """One unit of rate-controlled work inside a :class:`RatePool`.
+
+    Attributes
+    ----------
+    done:
+        Event that fires when all work has been performed.  Its value is
+        the activity itself.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "pool",
+        "work",
+        "remaining",
+        "weight",
+        "demand",
+        "mem_intensity",
+        "rate",
+        "rate_cap",
+        "done",
+        "started_at",
+        "finished_at",
+        "_last_update",
+        "_generation",
+        "tag",
+        "payload",
+        "uid",
+        "on_end",
+        "_ended",
+    )
+
+    def __init__(
+        self,
+        pool: "RatePool",
+        work: float,
+        weight: float = 1.0,
+        demand: float = 0.0,
+        mem_intensity: float = 0.0,
+        tag: str = "",
+        payload: Any = None,
+        rate_cap: float = math.inf,
+    ) -> None:
+        if work < 0:
+            raise ValueError(f"negative work {work}")
+        self.uid = next(Activity._ids)
+        self.pool = pool
+        self.work = float(work)
+        self.remaining = float(work)
+        self.weight = weight
+        self.demand = demand
+        self.mem_intensity = mem_intensity
+        self.rate = 0.0
+        self.rate_cap = rate_cap
+        self.done: Event = pool.env.event()
+        self.started_at = pool.env.now
+        self.finished_at: float | None = None
+        self._last_update = pool.env.now
+        self._generation = 0
+        self.tag = tag
+        self.payload = payload
+        #: Callbacks invoked exactly once when the activity ends for
+        #: any reason (completion, cancellation, node failure).
+        self.on_end: list = []
+        self._ended = False
+
+    @property
+    def progress(self) -> float:
+        """Fraction of work completed so far (0..1), as of 'now'."""
+        if self.work == 0:
+            return 1.0
+        remaining = self.remaining
+        if self.finished_at is None and self.rate > 0:
+            elapsed = self.pool.env.now - self._last_update
+            remaining = max(0.0, remaining - self.rate * elapsed)
+        return 1.0 - remaining / self.work
+
+    def cancel(self) -> None:
+        """Abort the activity; ``done`` never fires."""
+        self.pool._remove(self, fire=False)
+
+    def _run_on_end(self) -> None:
+        if self._ended:
+            return
+        self._ended = True
+        for callback in self.on_end:
+            callback(self)
+
+
+class RatePool:
+    """Base class: a set of activities whose rates are recomputed jointly."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.active: list[Activity] = []
+        #: Cumulative work delivered by this pool (for accounting).
+        self.delivered = 0.0
+
+    # -- public API -----------------------------------------------------
+
+    def execute(
+        self,
+        work: float,
+        weight: float = 1.0,
+        demand: float = 0.0,
+        mem_intensity: float = 0.0,
+        tag: str = "",
+        payload: Any = None,
+        rate_cap: float = math.inf,
+    ) -> Activity:
+        """Start an activity; returns it (wait on ``activity.done``)."""
+        act = Activity(
+            self, work, weight, demand, mem_intensity, tag, payload, rate_cap
+        )
+        self._settle()
+        self.active.append(act)
+        if act.remaining <= 0:
+            self._finish(act)
+        self._reschedule()
+        return act
+
+    @property
+    def load(self) -> float:
+        """Total demand currently placed on the pool."""
+        return sum(a.demand for a in self.active)
+
+    def rate_of(self, act: Activity) -> float:
+        """Current instantaneous rate of ``act`` — overridden by pools."""
+        raise NotImplementedError
+
+    # -- internals --------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Advance every active activity's remaining work to 'now'."""
+        now = self.env.now
+        for act in self.active:
+            elapsed = now - act._last_update
+            if elapsed > 0 and act.rate > 0:
+                done_work = min(act.remaining, act.rate * elapsed)
+                act.remaining -= done_work
+                self.delivered += done_work
+            act._last_update = now
+
+    def _reschedule(self) -> None:
+        """Recompute rates and re-arm each activity's completion timer."""
+        finished: list[Activity] = []
+        for act in self.active:
+            act.rate = self.rate_of(act)
+            act._generation += 1
+            if act.remaining <= 1e-12:
+                finished.append(act)
+                continue
+            if act.rate <= 0:
+                continue  # stalled: no timer until conditions change
+            eta = act.remaining / act.rate
+            if self.env.now + eta <= self.env.now:
+                # Remaining work is below float resolution of the
+                # clock: it can never make representable progress.
+                finished.append(act)
+                continue
+            self.env.process(
+                self._completion_timer(act, act._generation, eta),
+                name=f"rate-timer-{act.uid}",
+            )
+        for act in finished:
+            self._finish(act)
+        if finished:
+            # Departures change rates for the survivors.
+            self._settle()
+            self._reschedule()
+
+    def _completion_timer(self, act: Activity, generation: int, eta: float):
+        yield self.env.timeout(eta)
+        if act._generation != generation or act.finished_at is not None:
+            return  # superseded by a rate change
+        self._settle()
+        if act.remaining <= 1e-9 * max(1.0, act.work):
+            act.remaining = 0.0
+            self._finish(act)
+            self._settle()
+            self._reschedule()
+        elif act.rate > 0:
+            # Float drift left a sliver of work; re-arm for the rest —
+            # unless the sliver is below the clock's float resolution,
+            # in which case it is done for all observable purposes.
+            eta = act.remaining / act.rate
+            if self.env.now + eta <= self.env.now:
+                act.remaining = 0.0
+                self._finish(act)
+                self._settle()
+                self._reschedule()
+                return
+            act._generation += 1
+            self.env.process(
+                self._completion_timer(act, act._generation, eta),
+                name=f"rate-timer-{act.uid}",
+            )
+
+    def _finish(self, act: Activity) -> None:
+        if act.finished_at is not None:
+            return
+        act.finished_at = self.env.now
+        if act in self.active:
+            self.active.remove(act)
+        act._run_on_end()
+        if not act.done.triggered:
+            act.done.succeed(act)
+
+    def fail_all(self, exc: BaseException) -> None:
+        """Abort every active activity with ``exc`` (node failure).
+
+        Waiters see the exception; activities nobody awaited yet fail
+        silently (pre-defused), so a crash cannot take down the whole
+        simulation from an unobserved event.
+        """
+        self._settle()
+        victims = list(self.active)
+        self.active.clear()
+        for act in victims:
+            act._generation += 1
+            act.finished_at = self.env.now
+            act._run_on_end()
+            if not act.done.triggered:
+                act.done.fail(exc)
+                act.done.defuse()
+
+    def _remove(self, act: Activity, fire: bool) -> None:
+        self._settle()
+        if act in self.active:
+            self.active.remove(act)
+        act._generation += 1
+        if act.finished_at is None:
+            act.finished_at = self.env.now
+        act._run_on_end()
+        if fire and not act.done.triggered:
+            act.done.succeed(act)
+        self._reschedule()
+
+
+class FairShareChannel(RatePool):
+    """Capacity split equally among active activities, weighted.
+
+    Used for network links: ``rate_i = capacity * w_i / sum(w)``.
+    """
+
+    def __init__(self, env: Environment, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        super().__init__(env)
+        self.capacity = capacity
+
+    def rate_of(self, act: Activity) -> float:
+        total_weight = sum(a.weight for a in self.active)
+        if total_weight <= 0:
+            return 0.0
+        return min(act.rate_cap, self.capacity * act.weight / total_weight)
+
+    def utilization(self) -> float:
+        """1.0 while any transfer is in flight, else 0.0."""
+        return 1.0 if self.active else 0.0
+
+
+class ContentionDomain(RatePool):
+    """Memory-bandwidth contention on one node.
+
+    Each activity represents a group of ranks; ``demand`` is its total
+    relative bandwidth demand (ranks × per-rank demand), and
+    ``mem_intensity`` the fraction of its critical path that is
+    memory-bound.  When the sum of demands exceeds the capacity, the
+    memory-bound fraction stretches proportionally:
+
+    ``slowdown = (1 - m) + m * max(1, D / capacity)``
+    """
+
+    def __init__(self, env: Environment, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        super().__init__(env)
+        self.capacity = capacity
+
+    def pressure(self) -> float:
+        """Total demand relative to capacity (1.0 = saturated)."""
+        return self.load / self.capacity
+
+    def rate_of(self, act: Activity) -> float:
+        overload = max(1.0, self.load / self.capacity)
+        slowdown = (1.0 - act.mem_intensity) + act.mem_intensity * overload
+        return act.weight / slowdown
+
+    def slowdown_of(self, act: Activity) -> float:
+        overload = max(1.0, self.load / self.capacity)
+        return (1.0 - act.mem_intensity) + act.mem_intensity * overload
+
+
+def effective_time(work: float, rate: float) -> float:
+    """Helper: time to complete ``work`` at constant ``rate``."""
+    if rate <= 0:
+        return math.inf
+    return work / rate

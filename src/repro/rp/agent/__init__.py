@@ -1,0 +1,8 @@
+"""Agent-side RP components: scheduler, executor, updater."""
+
+from .agent import Agent
+from .executor import AgentExecutor
+from .scheduler import AgentScheduler, Placement
+from .updater import Updater
+
+__all__ = ["Agent", "AgentExecutor", "AgentScheduler", "Placement", "Updater"]

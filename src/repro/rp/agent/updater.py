@@ -1,0 +1,68 @@
+"""The agent updater: serialized state transitions + profile writes.
+
+Every state transition of every task flows through this component, is
+written to the RP profile store (under its I/O lock), and is mirrored
+into the tracer.  Because the RP monitoring client re-reads those same
+profile files, frequent monitoring contends with this writer — the
+mechanism behind the frequent-monitoring overhead in Fig 11.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ...sim.core import Event
+from ..profiler import ProfileRecord
+from ..states import TaskState
+from ..task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..session import Session
+
+__all__ = ["Updater"]
+
+
+class Updater:
+    """Applies and records state transitions for tasks."""
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+        self.env = session.env
+        self.transitions = 0
+
+    def advance(
+        self, task: Task, state: str, node: str = "", **data
+    ) -> Generator[Event, None, None]:
+        """Transition ``task`` and persist the profile record."""
+        task.advance(state, **data)
+        self.transitions += 1
+        self.session.tracer.record(
+            "rp.state", task.uid, state=state, node=node
+        )
+        yield from self.session.profiles.write_locked(
+            ProfileRecord(
+                time=self.env.now,
+                entity=task.uid,
+                event="state",
+                state=state,
+                node=node,
+            )
+        )
+
+    def record_event(
+        self, task: Task, event: str, node: str = ""
+    ) -> Generator[Event, None, None]:
+        """Record a sub-state event (launch_start, rank_start, ...)."""
+        task.record_event(event)
+        self.session.tracer.record(
+            "rp.event", task.uid, event=event, node=node
+        )
+        yield from self.session.profiles.write_locked(
+            ProfileRecord(
+                time=self.env.now,
+                entity=task.uid,
+                event=event,
+                state=task.state,
+                node=node,
+            )
+        )

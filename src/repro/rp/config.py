@@ -1,0 +1,65 @@
+"""Timing and policy constants of the simulated RADICAL-Pilot.
+
+All constants that shape RP's own overhead live here so experiments
+(and ablation benches) can vary them.  Defaults are calibrated against
+the published RP performance characterization on Summit [Merzky et al.,
+TPDS 2021]: agent bootstrap tens of seconds, per-task scheduling and
+launch overheads well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["RPConfig", "DEFAULT_RP_CONFIG"]
+
+
+@dataclass(frozen=True, slots=True)
+class RPConfig:
+    """Tunable behaviour of the RP runtime model."""
+
+    #: Seconds for the agent to bootstrap once the job starts (the
+    #: light-blue band at the bottom of Fig 8).
+    agent_bootstrap_time: float = 25.0
+    #: Client-side task management latency per task (TMGR + staging).
+    tmgr_latency: float = 0.05
+    #: One-way latency between client and agent (they may be on the
+    #: same node or continents apart; default: same allocation).
+    client_agent_latency: float = 0.01
+    #: Fixed cost of one scheduling decision (agent scheduler).
+    schedule_base_cost: float = 0.02
+    #: Additional scheduling cost per node scanned during placement.
+    schedule_per_node_cost: float = 1e-4
+    #: Consecutive placement failures tolerated per sweep before the
+    #: scheduler waits for a release (bounded backfill lookahead).
+    schedule_lookahead: int = 16
+    #: Time for the launch method (jsrun-like) to start a task's ranks
+    #: (launch_start .. exec_start).
+    launch_overhead: float = 0.35
+    #: Per-rank spawn cost added to the launch overhead.
+    launch_per_rank_cost: float = 0.004
+    #: Time to tear a task down (exec_stop .. launch_stop).
+    teardown_overhead: float = 0.07
+    #: Output staging time per task (AGENT_STAGING_OUTPUT).
+    staging_time: float = 0.02
+    #: Profile write latency per record (holds the profile I/O lock).
+    profile_write_time: float = 1.0e-4
+    #: Profile read: base seconds per read request.
+    profile_read_base: float = 4e-3
+    #: Profile read: seconds per record scanned (the RP monitor
+    #: re-parses the files each sample, like the real client).
+    profile_read_per_record: float = 6.0e-4
+    #: Cap on records parsed per read (bounded trailing window).
+    profile_read_max_records: int = 8000
+    #: Whether the scheduler may place app tasks on SOMA service nodes
+    #: (the "shared" configuration of Figs 10/11).
+    share_service_nodes: bool = False
+    #: Jitter fraction applied to launch/teardown overheads (uniform
+    #: +/-); models the non-determinism the paper attributes to RP.
+    overhead_jitter: float = 0.25
+
+    def with_updates(self, **kwargs) -> "RPConfig":
+        return replace(self, **kwargs)
+
+
+DEFAULT_RP_CONFIG = RPConfig()

@@ -1,0 +1,153 @@
+"""RAPTOR: RP's master/worker subsystem for function tasks.
+
+The paper notes RP "utilizes a dedicated subsystem called RAPTOR to
+execute Python functions at a very large scale" (Sec 2.1).  The
+experiments do not exercise RAPTOR, but a faithful RP substrate should
+carry it: a *master* task fans function calls out to resident *worker*
+tasks, amortizing per-task launch overhead — the property that makes
+function tasks cheap compared to executable tasks.
+
+Workers are resident service-mode tasks holding cores; the master
+dispatches :class:`FunctionCall` items to the first free worker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from ..sim.core import Event, Interrupt
+from ..sim.stores import Store
+from .description import TaskDescription, TaskMode
+from .model import ExecutionContext, ServiceModel, TaskModel, TaskResult
+
+__all__ = ["FunctionCall", "RaptorWorkerModel", "RaptorMaster"]
+
+_call_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class FunctionCall:
+    """One function invocation dispatched through RAPTOR."""
+
+    #: Simulated function: duration model (seconds of CPU per core).
+    duration: float
+    cores: int = 1
+    mem_intensity: float = 0.1
+    #: Optional Python callable evaluated at completion (pure, instant).
+    fn: Callable[[], Any] | None = None
+    uid: int = field(default_factory=lambda: next(_call_ids))
+    #: Result plumbing, filled by the worker.
+    result: Any = None
+    done: Event | None = None
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+
+
+class RaptorWorkerModel(ServiceModel):
+    """A resident worker executing function calls on its cores."""
+
+    def __init__(self, master: "RaptorMaster") -> None:
+        self.master = master
+
+    def execute(self, ctx: ExecutionContext):
+        inbox: Store = Store(ctx.env)
+        self.master._worker_inboxes[id(self)] = inbox
+        self.master._register_worker(self)
+        try:
+            while True:
+                call: FunctionCall = yield inbox.get()
+                placement = ctx.placements[0]
+                act = placement.node.run_compute(
+                    cores=min(call.cores, placement.num_cores),
+                    work=call.duration * placement.node.spec.core_speed,
+                    mem_intensity=call.mem_intensity,
+                    tag=f"raptor-call-{call.uid}",
+                )
+                yield act.done
+                call.finished_at = ctx.env.now
+                if call.fn is not None:
+                    call.result = call.fn()
+                self.master._call_finished(self, call)
+        except Interrupt:
+            pass
+        return TaskResult(exit_code=0)
+
+
+class RaptorMaster:
+    """Dispatches function calls to resident workers, FIFO."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self._workers: list[RaptorWorkerModel] = []
+        self._free: list[RaptorWorkerModel] = []
+        self._worker_inboxes: dict[int, Store] = {}
+        self._backlog: list[FunctionCall] = []
+        self.dispatched = 0
+        self.completed = 0
+
+    # -- worker construction -------------------------------------------
+
+    def worker_description(
+        self, cores: int = 4, name: str = "raptor-worker"
+    ) -> TaskDescription:
+        """A task description for one worker of this master."""
+        return TaskDescription(
+            name=name,
+            model=RaptorWorkerModel(self),
+            ranks=1,
+            cores_per_rank=cores,
+            mode=TaskMode.SERVICE,
+            multi_node=False,
+            tags={"pool": "compute"},
+        )
+
+    def _register_worker(self, worker: RaptorWorkerModel) -> None:
+        self._workers.append(worker)
+        self._free.append(worker)
+        self._pump()
+
+    # -- call submission ----------------------------------------------------
+
+    def submit(self, call: FunctionCall) -> Event:
+        """Queue a function call; returns its completion event."""
+        call.done = self.env.event()
+        call.submitted_at = self.env.now
+        self._backlog.append(call)
+        self._pump()
+        return call.done
+
+    def map(
+        self, calls: list[FunctionCall]
+    ) -> Generator[Event, None, list[FunctionCall]]:
+        """Submit many calls and wait for all (process generator)."""
+        from ..sim.events import AllOf
+
+        events = [self.submit(c) for c in calls]
+        yield AllOf(self.env, events)
+        return calls
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _pump(self) -> None:
+        while self._backlog and self._free:
+            call = self._backlog.pop(0)
+            worker = self._free.pop(0)
+            self._worker_inboxes[id(worker)].put(call)
+            self.dispatched += 1
+
+    def _call_finished(self, worker: RaptorWorkerModel, call: FunctionCall) -> None:
+        self.completed += 1
+        self._free.append(worker)
+        if call.done is not None and not call.done.triggered:
+            call.done.succeed(call)
+        self._pump()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._backlog)

@@ -1,0 +1,114 @@
+"""RP state machines: tasks, pilots, services.
+
+"RP's components function as a state machine — the lifecycle of each
+component, including application tasks, proceeds through a set of
+predictable states" (paper Sec 2.3.2).  The workflow namespace is built
+from exactly these states and the timestamped events inside them, so
+the model here matches RADICAL-Pilot's published state names.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TaskState",
+    "PilotState",
+    "TASK_STATE_ORDER",
+    "TASK_FINAL_STATES",
+    "PILOT_FINAL_STATES",
+    "EXECUTING_EVENTS",
+    "is_valid_transition",
+    "InvalidTransition",
+]
+
+
+class InvalidTransition(RuntimeError):
+    """Raised when a component is driven through an illegal transition."""
+
+
+class TaskState:
+    """Task lifecycle states (subset of RP's, in causal order)."""
+
+    NEW = "NEW"
+    TMGR_SCHEDULING = "TMGR_SCHEDULING"
+    TMGR_STAGING_INPUT = "TMGR_STAGING_INPUT"
+    AGENT_SCHEDULING_PENDING = "AGENT_SCHEDULING_PENDING"
+    AGENT_SCHEDULING = "AGENT_SCHEDULING"
+    AGENT_EXECUTING_PENDING = "AGENT_EXECUTING_PENDING"
+    AGENT_EXECUTING = "AGENT_EXECUTING"
+    AGENT_STAGING_OUTPUT = "AGENT_STAGING_OUTPUT"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELED = "CANCELED"
+
+
+#: Causal order of non-final task states.
+TASK_STATE_ORDER: list[str] = [
+    TaskState.NEW,
+    TaskState.TMGR_SCHEDULING,
+    TaskState.TMGR_STAGING_INPUT,
+    TaskState.AGENT_SCHEDULING_PENDING,
+    TaskState.AGENT_SCHEDULING,
+    TaskState.AGENT_EXECUTING_PENDING,
+    TaskState.AGENT_EXECUTING,
+    TaskState.AGENT_STAGING_OUTPUT,
+]
+
+TASK_FINAL_STATES = frozenset(
+    {TaskState.DONE, TaskState.FAILED, TaskState.CANCELED}
+)
+
+#: The timestamped events inside EXECUTING (paper Listing 1).
+EXECUTING_EVENTS: list[str] = [
+    "launch_start",
+    "exec_start",
+    "rank_start",
+    "rank_stop",
+    "exec_stop",
+    "launch_stop",
+]
+
+
+class PilotState:
+    """Pilot lifecycle states."""
+
+    NEW = "NEW"
+    PMGR_LAUNCHING_PENDING = "PMGR_LAUNCHING_PENDING"
+    PMGR_LAUNCHING = "PMGR_LAUNCHING"
+    PMGR_ACTIVE_PENDING = "PMGR_ACTIVE_PENDING"
+    PMGR_ACTIVE = "PMGR_ACTIVE"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELED = "CANCELED"
+
+
+PILOT_STATE_ORDER: list[str] = [
+    PilotState.NEW,
+    PilotState.PMGR_LAUNCHING_PENDING,
+    PilotState.PMGR_LAUNCHING,
+    PilotState.PMGR_ACTIVE_PENDING,
+    PilotState.PMGR_ACTIVE,
+]
+
+PILOT_FINAL_STATES = frozenset(
+    {PilotState.DONE, PilotState.FAILED, PilotState.CANCELED}
+)
+
+_TASK_INDEX = {state: i for i, state in enumerate(TASK_STATE_ORDER)}
+_PILOT_INDEX = {state: i for i, state in enumerate(PILOT_STATE_ORDER)}
+
+
+def is_valid_transition(current: str, new: str, kind: str = "task") -> bool:
+    """True if ``current -> new`` is legal.
+
+    Legal moves are strictly forward along the causal order, or from
+    any non-final state into a final state.  Final states are sticky.
+    """
+    index = _TASK_INDEX if kind == "task" else _PILOT_INDEX
+    finals = TASK_FINAL_STATES if kind == "task" else PILOT_FINAL_STATES
+    if current in finals:
+        return False
+    if new in finals:
+        return True
+    if current not in index or new not in index:
+        return False
+    return index[new] > index[current]

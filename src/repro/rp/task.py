@@ -1,0 +1,141 @@
+"""The Task entity: one unit of work, with its full event history."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..sim.core import Environment, Event
+from .description import TaskDescription, TaskMode
+from .states import (
+    TASK_FINAL_STATES,
+    InvalidTransition,
+    TaskState,
+    is_valid_transition,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .model import TaskResult
+
+__all__ = ["Task", "TaskEvent"]
+
+
+class TaskEvent:
+    """One timestamped event in a task's life (profile record)."""
+
+    __slots__ = ("time", "name", "state", "data")
+
+    def __init__(
+        self, time: float, name: str, state: str, data: dict[str, Any] | None = None
+    ) -> None:
+        self.time = time
+        self.name = name
+        self.state = state
+        self.data = data or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskEvent({self.time:.4f}, {self.name!r}, {self.state!r})"
+
+
+class Task:
+    """A task under RP management."""
+
+    def __init__(
+        self, env: Environment, uid: str, description: TaskDescription
+    ) -> None:
+        description.validate()
+        self.env = env
+        self.uid = uid
+        self.description = description
+        self.state = TaskState.NEW
+        self.events: list[TaskEvent] = [
+            TaskEvent(env.now, "state", TaskState.NEW)
+        ]
+        #: Node names the task's ranks landed on (set by the scheduler).
+        self.nodelist: list[str] = []
+        #: Fires when the task reaches a final state.
+        self.completed: Event = env.event()
+        self.result: "TaskResult | None" = None
+        self.exception: BaseException | None = None
+        #: Wall-clock bookkeeping for analysis.
+        self.submitted_at: float | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+
+    # -- state machine -------------------------------------------------
+
+    def advance(self, new_state: str, **data: Any) -> None:
+        """Move to ``new_state``, recording a timestamped event."""
+        if not is_valid_transition(self.state, new_state, kind="task"):
+            raise InvalidTransition(
+                f"{self.uid}: illegal transition {self.state} -> {new_state}"
+            )
+        self.state = new_state
+        self.events.append(TaskEvent(self.env.now, "state", new_state, data))
+        if new_state == TaskState.AGENT_EXECUTING:
+            self.started_at = self.env.now
+        if new_state in TASK_FINAL_STATES:
+            self.finished_at = self.env.now
+            if not self.completed.triggered:
+                self.completed.succeed(self)
+
+    def record_event(self, name: str, **data: Any) -> None:
+        """Record a sub-state event (launch_start, rank_start, ...)."""
+        self.events.append(TaskEvent(self.env.now, name, self.state, data))
+
+    # -- classification --------------------------------------------------
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in TASK_FINAL_STATES
+
+    @property
+    def is_service(self) -> bool:
+        return self.description.mode == TaskMode.SERVICE
+
+    @property
+    def is_monitor(self) -> bool:
+        return self.description.mode == TaskMode.MONITOR
+
+    @property
+    def is_application(self) -> bool:
+        return self.description.mode in (TaskMode.EXECUTABLE, TaskMode.FUNCTION)
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def time_of(self, event_name: str) -> float | None:
+        """Timestamp of the first event with ``event_name``, if any."""
+        for event in self.events:
+            if event.name == event_name or (
+                event.name == "state" and event.state == event_name
+            ):
+                return event.time
+        return None
+
+    def duration(self, start_event: str, stop_event: str) -> float | None:
+        """Seconds between two recorded events, if both exist."""
+        start = self.time_of(start_event)
+        stop = self.time_of(stop_event)
+        if start is None or stop is None:
+            return None
+        return stop - start
+
+    @property
+    def execution_time(self) -> float | None:
+        """launch_start .. launch_stop, the paper's task execution time."""
+        return self.duration("launch_start", "launch_stop")
+
+    def state_durations(self) -> dict[str, float]:
+        """Seconds spent in each state (final state gets 0)."""
+        durations: dict[str, float] = {}
+        state_events = [e for e in self.events if e.name == "state"]
+        for current, following in zip(state_events, state_events[1:]):
+            durations[current.state] = durations.get(current.state, 0.0) + (
+                following.time - current.time
+            )
+        if state_events:
+            last = state_events[-1]
+            durations.setdefault(last.state, 0.0)
+        return durations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.uid} {self.state}>"

@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel (from-scratch, SimPy-flavoured).
+
+Public surface::
+
+    from repro.sim import Environment, Interrupt, AllOf, AnyOf
+    from repro.sim import Resource, PriorityResource
+    from repro.sim import Store, FilterStore, PriorityStore, PriorityItem
+    from repro.sim import Tracer
+
+Every simulated subsystem in this repository is a set of generator
+processes scheduled on one :class:`Environment`.
+"""
+
+from .core import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .events import AllOf, AnyOf, Condition, ConditionValue
+from .resources import PriorityResource, Release, Request, Resource
+from .stores import FilterStore, PriorityItem, PriorityStore, Store
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "StopSimulation",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "PriorityResource",
+    "Release",
+    "Request",
+    "Resource",
+    "FilterStore",
+    "PriorityItem",
+    "PriorityStore",
+    "Store",
+    "TraceRecord",
+    "Tracer",
+]

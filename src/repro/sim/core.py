@@ -1,0 +1,446 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop at the bottom of the whole
+reproduction stack: a generator-coroutine process model in the style of
+SimPy, written from scratch.  Every other subsystem (the platform model,
+the RADICAL-Pilot runtime, the SOMA service, the monitors) is a set of
+processes scheduled on one :class:`Environment`.
+
+Design notes
+------------
+* Events are scheduled on a binary heap keyed by ``(time, priority,
+  sequence)``.  The sequence number makes the ordering of simultaneous
+  events deterministic (FIFO within a priority class), which in turn
+  makes every experiment in this repository reproducible bit-for-bit for
+  a given seed.
+* Processes are plain Python generators that ``yield`` events.  When the
+  yielded event fires, the process is resumed with the event's value (or
+  the exception, if the event failed).
+* Interrupts are delivered by throwing :class:`Interrupt` into the
+  generator, mirroring the semantics used by preemptive resources.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Sentinel for an event value that has not been produced yet.
+PENDING = object()
+
+#: Scheduling priority for events that must run before normal events at
+#: the same timestamp (used by resource bookkeeping).
+URGENT = 0
+
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run`."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when it is interrupted.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened.  The
+        interrupted process can inspect it via ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event goes through three phases: *untriggered* (just created),
+    *triggered* (scheduled on the event queue with a value or an
+    exception), and *processed* (its callbacks have run).  Processes wait
+    on events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked with this event once it is processed.
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.callbacks is None
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (or failure) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every process waiting on this
+        event.  If nobody waits, it propagates out of ``run()`` unless
+        :meth:`defuse` was called.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A process is both an executor of a generator and an event.
+
+    As an event it fires when the generator terminates; its value is the
+    generator's return value (via ``StopIteration.value``) or the
+    exception that killed it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits on (None if running).
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} at t={self.env.now}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed simply beats the pending event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} already terminated")
+        if self._target is None and self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks = [self._resume]
+        self.env._schedule(event, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value of ``event``."""
+        env = self.env
+        env._active_process = self
+        # Remove us from the old target's callbacks if we were diverted
+        # (e.g. an interrupt arrived while waiting on a timeout).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self._defused = False
+                env._schedule(self, NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                self._generator.throw(
+                    SimulationError(
+                        f"process {self.name!r} yielded a non-event: {next_event!r}"
+                    )
+                )
+                continue
+
+            if next_event.callbacks is not None and not (
+                next_event.triggered and next_event.processed
+            ):
+                # Not yet processed: park until it fires.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Already processed (e.g. yielding a finished process):
+            # resume immediately with its stored value.
+            event = next_event
+            if not event._ok and not event._defused:
+                event._defused = True
+
+        env._active_process = None
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Process | None = None
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._queue)
+
+    # -- factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until the clock reaches it;
+        * an :class:`Event` — run until that event is processed, and
+          return its value.
+        """
+        stop_value: Any = None
+        if until is None:
+            deadline = float("inf")
+            stop_event: Event | None = None
+        elif isinstance(until, Event):
+            deadline = float("inf")
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed.
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation(event._value if event._ok else event)
+
+            stop_event.callbacks.append(_stop)
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"until={deadline} is in the past (now={self._now})"
+                )
+            stop_event = None
+
+        try:
+            while self._queue:
+                if self._queue[0][0] > deadline:
+                    self._now = deadline
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            value = stop.value
+            if isinstance(value, Event):
+                # The stop event failed; re-raise its exception.
+                exc = value._value
+                raise exc from None
+            return value
+        if deadline != float("inf") and self._now < deadline:
+            self._now = deadline
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "run() ended before the awaited event was triggered"
+            )
+        return stop_value

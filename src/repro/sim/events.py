@@ -1,0 +1,126 @@
+"""Composite events: conditions over multiple events.
+
+Provides ``AllOf`` (fire when every child fired) and ``AnyOf`` (fire
+when the first child fires), matching the semantics processes need to
+wait on several things at once, e.g. "task finished OR shutdown
+requested".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from .core import Event, Environment, SimulationError
+
+__all__ = ["Condition", "AllOf", "AnyOf", "ConditionValue"]
+
+
+class ConditionValue:
+    """Ordered mapping of the child events that fired, to their values."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (event.value for event in self.events)
+
+    def items(self):
+        return ((event, event.value) for event in self.events)
+
+    def todict(self) -> dict[Event, Any]:
+        return {event: event.value for event in self.events}
+
+
+class Condition(Event):
+    """An event that fires when ``evaluate(events, fired_count)`` is true.
+
+    The condition's value is a :class:`ConditionValue` of all child
+    events that had fired by the time the condition triggered.  A failed
+    child event fails the whole condition immediately.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self.triggered and self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            # Only events whose callbacks already ran count as "fired":
+            # Timeout pre-sets its value at creation, so ``triggered``
+            # alone would claim future timeouts.
+            if event.processed and event.ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        self._count += 1
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires when all child events have fired."""
+
+    def __init__(self, env: Environment, events: Iterable[Event]) -> None:
+        events = list(events)
+        super().__init__(env, lambda evs, count: count >= len(evs), events)
+
+
+class AnyOf(Condition):
+    """Fires when any child event has fired (or immediately if empty)."""
+
+    def __init__(self, env: Environment, events: Iterable[Event]) -> None:
+        events = list(events)
+        super().__init__(env, lambda evs, count: count > 0 or not evs, events)

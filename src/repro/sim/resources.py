@@ -1,0 +1,176 @@
+"""Capacity-limited resources for the simulation kernel.
+
+A :class:`Resource` models mutual exclusion over ``capacity`` identical
+slots.  Requests are events; they succeed once a slot is free.  A
+``with`` protocol is provided so processes can write::
+
+    with resource.request() as req:
+        yield req
+        ...  # critical section
+
+:class:`PriorityResource` serves requests lowest-priority-value first.
+These are used for, e.g., serializing access to the simulated batch
+system and the RPC server worker pools.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from .core import Environment, Event, NORMAL, URGENT
+
+__all__ = ["Request", "Release", "Resource", "PriorityRequest", "PriorityResource"]
+
+
+class Request(Event):
+    """A pending claim on one slot of a resource."""
+
+    __slots__ = ("resource", "proc")
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.proc = resource.env.active_process
+        resource._queue_request(self)
+        resource._trigger_requests()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot (or withdraw the request if still pending)."""
+        self.resource._cancel(self)
+
+
+class Release(Event):
+    """Event representing completion of a release (fires immediately)."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.request = request
+        resource._cancel(request)
+        self.succeed(priority=URGENT)
+
+
+class Resource:
+    """A resource with ``capacity`` interchangeable slots (FIFO)."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self._waiting: list[Request] = []
+        self._users: list[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue(self) -> list[Request]:
+        """Requests waiting for a slot (read-only view)."""
+        return list(self._waiting)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        return Release(self, request)
+
+    # -- internals ------------------------------------------------------
+
+    def _queue_request(self, request: Request) -> None:
+        self._waiting.append(request)
+
+    def _next_request(self) -> Request | None:
+        return self._waiting[0] if self._waiting else None
+
+    def _pop_request(self) -> Request:
+        return self._waiting.pop(0)
+
+    def _trigger_requests(self) -> None:
+        while len(self._users) < self._capacity:
+            request = self._next_request()
+            if request is None:
+                break
+            self._pop_request()
+            self._users.append(request)
+            request.succeed(priority=NORMAL)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+            self._trigger_requests()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+
+
+class PriorityRequest(Request):
+    """A request with an explicit priority (lower value served first)."""
+
+    __slots__ = ("priority", "time", "_key")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        self.time = resource.env.now
+        self._key = (priority, self.time, resource._tiebreak())
+        super().__init__(resource)
+
+    def __lt__(self, other: "PriorityRequest") -> bool:
+        return self._key < other._key
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by request priority."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: list[PriorityRequest] = []
+        self._seq = 0
+
+    def _tiebreak(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    @property
+    def queue(self) -> list[Request]:
+        return sorted(self._heap)
+
+    def _queue_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        heapq.heappush(self._heap, request)
+
+    def _next_request(self) -> Request | None:
+        return self._heap[0] if self._heap else None
+
+    def _pop_request(self) -> Request:
+        return heapq.heappop(self._heap)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+            self._trigger_requests()
+        else:
+            try:
+                self._heap.remove(request)  # type: ignore[arg-type]
+                heapq.heapify(self._heap)
+            except ValueError:
+                pass

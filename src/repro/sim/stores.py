@@ -1,0 +1,221 @@
+"""Message stores: the building block for queues and channels.
+
+A :class:`Store` holds items; ``put`` and ``get`` are events.  This is
+the substrate for the ZeroMQ-style component queues inside the simulated
+RADICAL-Pilot and for the RPC engine's mailboxes.
+
+Variants:
+
+* :class:`Store` — unbounded-or-bounded FIFO of arbitrary items.
+* :class:`PriorityStore` — items retrieved lowest-first.
+* :class:`FilterStore` — ``get(filter)`` retrieves the first item
+  matching a predicate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from .core import Environment, Event, NORMAL
+
+__all__ = [
+    "StorePut",
+    "StoreGet",
+    "Store",
+    "PriorityStore",
+    "PriorityItem",
+    "FilterStore",
+]
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        try:
+            # Only meaningful while still waiting.
+            self.env  # noqa: B018 - attribute access for liveness
+        finally:
+            pass
+
+
+class StoreGet(Event):
+    """Pending retrieval of an item from a store."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_waiters.append(self)
+        store._dispatch()
+
+
+class FilterStoreGet(StoreGet):
+    """Pending retrieval of the first item matching ``predicate``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(
+        self, store: "FilterStore", predicate: Callable[[Any], bool]
+    ) -> None:
+        self.predicate = predicate
+        super().__init__(store)
+
+
+class Store:
+    """FIFO store of items with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: list[Any] = []
+        self._put_waiters: list[StorePut] = []
+        self._get_waiters: list[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the returned event fires once it is stored."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; the event's value is the item."""
+        return StoreGet(self)
+
+    # -- internals ------------------------------------------------------
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self._insert(event.item)
+            event.succeed(priority=NORMAL)
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self._extract(), priority=NORMAL)
+            return True
+        return False
+
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _extract(self) -> Any:
+        return self.items.pop(0)
+
+    def _dispatch(self) -> None:
+        # Alternate put/get matching until no more progress can be made.
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters:
+                put = self._put_waiters[0]
+                if put.triggered:
+                    self._put_waiters.pop(0)
+                    continue
+                if self._do_put(put):
+                    self._put_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+            while self._get_waiters:
+                get = self._get_waiters[0]
+                if get.triggered:
+                    self._get_waiters.pop(0)
+                    continue
+                if self._do_get(get):
+                    self._get_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+
+
+class PriorityItem:
+    """Wrapper pairing a sortable priority with an arbitrary payload."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any) -> None:
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PriorityItem):
+            return NotImplemented
+        return self.priority == other.priority and self.item == other.item
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """Store retrieving the smallest item first (heap-ordered)."""
+
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _extract(self) -> Any:
+        return heapq.heappop(self.items)
+
+
+class FilterStore(Store):
+    """Store supporting predicate-based retrieval.
+
+    Note that a blocked get at the queue head does *not* block gets
+    behind it whose predicates match available items.
+    """
+
+    def get(  # type: ignore[override]
+        self, predicate: Callable[[Any], bool] = lambda item: True
+    ) -> FilterStoreGet:
+        return FilterStoreGet(self, predicate)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters:
+                put = self._put_waiters[0]
+                if put.triggered:
+                    self._put_waiters.pop(0)
+                    continue
+                if self._do_put(put):
+                    self._put_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+            still_waiting: list[StoreGet] = []
+            for get in self._get_waiters:
+                if get.triggered:
+                    continue
+                assert isinstance(get, FilterStoreGet)
+                matched = False
+                for idx, item in enumerate(self.items):
+                    if get.predicate(item):
+                        del self.items[idx]
+                        get.succeed(item, priority=NORMAL)
+                        matched = True
+                        progress = True
+                        break
+                if not matched:
+                    still_waiting.append(get)
+            self._get_waiters = still_waiting

@@ -1,0 +1,197 @@
+"""Online/offline analysis over SOMA's namespace stores.
+
+These functions implement the observations the paper derives from the
+collected data: per-node CPU-utilization traces with task-start markers
+(Fig 7), per-rank MPI breakdowns and load imbalance (Fig 5), workflow
+state statistics, throughput, and the free-resource estimate used
+between phases in the adaptive DDMD experiment (Sec 3.2).
+
+They operate on :class:`~repro.soma.storage.NamespaceStore` objects and
+can be invoked either offline (after a run) or online via a SOMA
+client's ``query`` RPC.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .storage import NamespaceStore
+
+__all__ = [
+    "UtilizationPoint",
+    "cpu_utilization_series",
+    "task_state_observations",
+    "workflow_summary_series",
+    "task_throughput",
+    "rank_region_breakdown",
+    "load_imbalance",
+    "free_resource_estimate",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationPoint:
+    """One hardware-monitor observation."""
+
+    time: float
+    hostname: str
+    cpu_utilization: float
+    gpu_utilization: float
+
+
+def cpu_utilization_series(
+    store: NamespaceStore, hostname: str | None = None
+) -> dict[str, list[UtilizationPoint]]:
+    """Per-node utilization traces from the hardware namespace.
+
+    This is Fig 7's line data: "each colored line shows the CPU
+    utilization on a different compute node".
+    """
+    series: dict[str, list[UtilizationPoint]] = defaultdict(list)
+    for record in store:
+        proc = record.data
+        if "PROC" not in proc:
+            continue
+        proc_node = proc["PROC"]
+        for host, host_node in proc_node.children():
+            if hostname is not None and host != hostname:
+                continue
+            for ts, sample in host_node.children():
+                series[host].append(
+                    UtilizationPoint(
+                        time=float(ts),
+                        hostname=host,
+                        cpu_utilization=float(
+                            sample.get("cpu_utilization", 0.0)
+                        ),
+                        gpu_utilization=float(
+                            sample.get("gpu_utilization", 0.0)
+                        ),
+                    )
+                )
+    return {
+        host: sorted(points, key=lambda p: p.time)
+        for host, points in series.items()
+    }
+
+
+def task_state_observations(
+    store: NamespaceStore, event: str = "AGENT_EXECUTING"
+) -> list[tuple[float, str]]:
+    """(time, task uid) for every observed occurrence of ``event``.
+
+    With the default event these are Fig 7's orange dots: "when the
+    SOMA RP monitor observed from RP that a task is starting".
+    """
+    seen: set[tuple[str, str]] = set()
+    out: list[tuple[float, str]] = []
+    for record in store:
+        data = record.data
+        if "RP" not in data:
+            continue
+        rp = data["RP"]
+        for child, child_node in rp.children():
+            if not child.startswith("task."):
+                continue
+            for ts, leaf in child_node.children():
+                if leaf.is_leaf and leaf.value == event:
+                    key = (child, ts)
+                    if key not in seen:
+                        seen.add(key)
+                        out.append((float(ts), child))
+    return sorted(out)
+
+
+def workflow_summary_series(
+    store: NamespaceStore,
+) -> list[dict[str, float]]:
+    """The RP monitor's summary stats, one dict per publish."""
+    out: list[dict[str, float]] = []
+    for record in store:
+        data = record.data
+        if "RP/summary" not in data:
+            continue
+        summary = data["RP/summary"]
+        entry: dict[str, float] = {"time": record.time}
+        for key in ("tasks_seen", "done", "failed", "running", "pending"):
+            if key in summary:
+                entry[key] = float(summary[key])
+        out.append(entry)
+    return out
+
+
+def task_throughput(store: NamespaceStore) -> list[tuple[float, float]]:
+    """(time, completed tasks per second) between consecutive summaries."""
+    series = workflow_summary_series(store)
+    out: list[tuple[float, float]] = []
+    for prev, cur in zip(series, series[1:]):
+        dt = cur["time"] - prev["time"]
+        if dt <= 0:
+            continue
+        rate = (cur.get("done", 0.0) - prev.get("done", 0.0)) / dt
+        out.append((cur["time"], max(0.0, rate)))
+    return out
+
+
+def rank_region_breakdown(
+    store: NamespaceStore, task_uid: str
+) -> dict[int, dict[str, float]]:
+    """Per-rank seconds by region for one task (Fig 5's bars)."""
+    merged = store.merged()
+    if f"TAU/{task_uid}" not in merged:
+        return {}
+    out: dict[int, dict[str, float]] = {}
+    task_node = merged[f"TAU/{task_uid}"]
+    for _host, host_node in task_node.children():
+        for rank_name, rank_node in host_node.children():
+            rank = int(rank_name.replace("rank", ""))
+            regions = {
+                region: float(leaf.value)
+                for region, leaf in rank_node.children()
+                if leaf.is_leaf
+            }
+            out[rank] = regions
+    return out
+
+
+def load_imbalance(store: NamespaceStore, task_uid: str) -> float:
+    """Imbalance metric max/mean over per-rank *compute* time.
+
+    MPI wait regions are excluded: waits complement compute (fast
+    ranks wait for stragglers), so total time is flat by construction
+    and only the compute split reveals the imbalance (Fig 5).
+    """
+    breakdown = rank_region_breakdown(store, task_uid)
+    if not breakdown:
+        return 0.0
+    compute = np.array(
+        [
+            sum(v for k, v in regions.items() if not k.startswith("MPI_"))
+            for regions in breakdown.values()
+        ]
+    )
+    mean = compute.mean()
+    if mean <= 0:
+        return 0.0
+    return float(compute.max() / mean)
+
+
+def free_resource_estimate(
+    hardware_store: NamespaceStore,
+    window: float,
+    now: float,
+) -> dict[str, float]:
+    """Mean recent CPU/GPU headroom per node — the online analysis the
+    adaptive DDMD experiment performs between phases (Sec 3.2)."""
+    series = cpu_utilization_series(hardware_store)
+    headroom: dict[str, float] = {}
+    for host, points in series.items():
+        recent = [p for p in points if p.time >= now - window]
+        if not recent:
+            continue
+        cpu = float(np.mean([p.cpu_utilization for p in recent]))
+        headroom[host] = 1.0 - cpu
+    return headroom

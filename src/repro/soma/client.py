@@ -1,0 +1,99 @@
+"""The SOMA client stub.
+
+"SOMA's functionality is split up into a client stub and a service
+library.  The client stub exposes the SOMA monitoring API and is
+responsible for translating the API calls into remote procedure calls"
+(paper Sec 2.2.1).  The stub either runs inside the instrumented
+component's address space (TAU plugin) or as a separate binary on its
+own core (hardware / RP monitors) — pass ``node`` to charge that CPU.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..conduit import Node as ConduitNode
+from ..messaging.rpc import RPCClient, RPCError, RPCServer
+from ..sim.core import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platform.node import Node
+    from ..rp.session import Session
+
+__all__ = ["SomaClient"]
+
+
+class SomaClient:
+    """Connects to one or more SOMA namespace instances."""
+
+    def __init__(
+        self,
+        session: "Session",
+        name: str,
+        node: "Node | None" = None,
+        registry_prefix: str = "soma",
+    ) -> None:
+        self.session = session
+        self.env = session.env
+        self.name = name
+        self.node = node
+        self.registry_prefix = registry_prefix
+        self._rpc = RPCClient(
+            session.env, session.cluster.network, name=name, node=node
+        )
+        self._servers: dict[str, RPCServer] = {}
+        self.published = 0
+        self.publish_failures = 0
+
+    # -- connection ---------------------------------------------------------
+
+    def connect(self, namespace: str) -> Generator[Event, None, RPCServer]:
+        """Resolve (and wait for) the namespace instance's address."""
+        server = self._servers.get(namespace)
+        if server is not None:
+            return server
+        server = yield from self.session.rpc_registry.lookup(
+            f"{self.registry_prefix}.{namespace}"
+        )
+        self._servers[namespace] = server
+        return server
+
+    # -- the monitoring API -----------------------------------------------------
+
+    def publish(
+        self, namespace: str, data: ConduitNode
+    ) -> Generator[Event, None, bool]:
+        """Publish a Conduit tree to a namespace instance (blocking RPC).
+
+        Returns True on success; False if the service is gone (the
+        client surfaces the failure but does not crash its host).
+        """
+        server = yield from self.connect(namespace)
+        nbytes = data.nbytes()
+        try:
+            yield from self._rpc.call(
+                server, "publish", body=data, payload_bytes=nbytes
+            )
+        except RPCError:
+            self.publish_failures += 1
+            self.session.tracer.record(
+                "soma.publish_failed", namespace, source=self.name
+            )
+            return False
+        self.published += 1
+        return True
+
+    def query(
+        self, namespace: str, kind: str = "records", **params: Any
+    ) -> Generator[Event, None, Any]:
+        """Online query against a namespace instance."""
+        server = yield from self.connect(namespace)
+        body = {"kind": kind, **params}
+        response = yield from self._rpc.call(
+            server, "query", body=body, payload_bytes=256.0
+        )
+        return response.body
+
+    @property
+    def mean_rtt(self) -> float:
+        return self._rpc.mean_rtt

@@ -1,0 +1,41 @@
+"""SOMA's four monitoring namespaces (paper Sec 2.3.2).
+
+Monitoring data is divided into *workflow*, *hardware*, *performance*
+and *application* namespaces; the service task's N ranks are divided
+among per-namespace instances, each serving the compute and storage
+needs of one source.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "WORKFLOW",
+    "HARDWARE",
+    "PERFORMANCE",
+    "APPLICATION",
+    "ALL_NAMESPACES",
+    "namespace_root",
+]
+
+WORKFLOW = "workflow"
+HARDWARE = "hardware"
+PERFORMANCE = "performance"
+APPLICATION = "application"
+
+ALL_NAMESPACES: tuple[str, ...] = (WORKFLOW, HARDWARE, PERFORMANCE, APPLICATION)
+
+#: Top-level Conduit path per namespace (Listings 1 and 2 use RP / PROC).
+_ROOTS = {
+    WORKFLOW: "RP",
+    HARDWARE: "PROC",
+    PERFORMANCE: "TAU",
+    APPLICATION: "APP",
+}
+
+
+def namespace_root(namespace: str) -> str:
+    """The top-level Conduit node name for ``namespace``."""
+    try:
+        return _ROOTS[namespace]
+    except KeyError:
+        raise ValueError(f"unknown namespace {namespace!r}") from None

@@ -1,0 +1,199 @@
+"""The SOMA service: per-namespace instances behind Mochi-style RPC.
+
+SOMA "enables the partitioning of monitoring service resources into one
+or more independent instances, each of which is responsible for
+monitoring data from one source" (paper Sec 2.2).  The service runs as
+an RP *service task*: scheduled before any application task, resident
+for the whole workflow, shut down by RP at the end.
+
+``SomaServiceModel`` is the :class:`~repro.rp.model.ServiceModel` RP
+executes; its ``setup`` brings up one RPC server per namespace (with
+the configured number of ranks each) and publishes their addresses in
+the session's RPC registry so clients can connect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from ..conduit import Node as ConduitNode
+from ..messaging.rpc import RPCRequest, RPCServer
+from ..rp.description import TaskDescription, TaskMode
+from ..rp.model import ExecutionContext, ServiceModel
+from .namespaces import ALL_NAMESPACES
+from .storage import NamespaceStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..rp.session import Session
+
+__all__ = ["SomaConfig", "SomaServiceModel", "soma_service_description"]
+
+
+@dataclass(frozen=True, slots=True)
+class SomaConfig:
+    """Configuration of one SOMA deployment."""
+
+    #: Service ranks per namespace instance (paper Tables 1-2).
+    ranks_per_namespace: int = 1
+    #: Namespaces to bring up.
+    namespaces: tuple[str, ...] = ALL_NAMESPACES
+    #: Monitoring/publication period in seconds (60 in most paper
+    #: experiments; 10 in the "frequent" Scaling B runs).
+    monitoring_frequency: float = 60.0
+    #: Which monitor clients to deploy (proc / rp / tau).
+    monitors: tuple[str, ...] = ("proc", "rp")
+    #: Hardware-monitor sampling period, if different (Fig 7 uses 30 s).
+    hardware_frequency: float | None = None
+    #: Per-call CPU service time parameters of the instance servers.
+    base_service_time: float = 2e-4
+    per_byte_service_time: float = 2e-9
+    #: Registry name prefix; clients look up "<prefix>.<namespace>".
+    registry_prefix: str = "soma"
+
+    @property
+    def effective_hardware_frequency(self) -> float:
+        return (
+            self.hardware_frequency
+            if self.hardware_frequency is not None
+            else self.monitoring_frequency
+        )
+
+    @property
+    def total_ranks(self) -> int:
+        return self.ranks_per_namespace * len(self.namespaces)
+
+    def with_updates(self, **kwargs: Any) -> "SomaConfig":
+        return replace(self, **kwargs)
+
+
+class SomaServiceModel(ServiceModel):
+    """The long-running SOMA service task."""
+
+    def __init__(self, session: "Session", config: SomaConfig) -> None:
+        self.session = session
+        self.config = config
+        self.servers: dict[str, RPCServer] = {}
+        self.stores: dict[str, NamespaceStore] = {
+            ns: NamespaceStore(ns) for ns in config.namespaces
+        }
+        self.publishes = 0
+        self.started_at: float | None = None
+
+    # -- RP service lifecycle -----------------------------------------------
+
+    def setup(self, ctx: ExecutionContext):
+        """Bring up one RPC server per namespace on our node(s)."""
+        self.started_at = ctx.env.now
+        for i, namespace in enumerate(self.config.namespaces):
+            # Namespace instances are spread round-robin over the
+            # service task's nodes.
+            node = ctx.placements[i % len(ctx.placements)].node
+            server = RPCServer(
+                env=ctx.env,
+                network=ctx.network,
+                node=node,
+                name=f"{self.config.registry_prefix}.{namespace}",
+                ranks=self.config.ranks_per_namespace,
+                base_service_time=self.config.base_service_time,
+                per_byte_service_time=self.config.per_byte_service_time,
+            )
+            server.register("publish", self._make_publish_handler(namespace))
+            server.register("query", self._make_query_handler(namespace))
+            self.servers[namespace] = server
+            self.session.rpc_registry.publish(server)
+            self.session.tracer.record(
+                "soma.instance",
+                namespace,
+                node=node.name,
+                ranks=self.config.ranks_per_namespace,
+            )
+        return
+        yield  # pragma: no cover - setup is synchronous here
+
+    def teardown(self, ctx: ExecutionContext) -> None:
+        for server in self.servers.values():
+            server.shutdown()
+        self.session.tracer.record("soma.service", "teardown")
+
+    # -- handlers ---------------------------------------------------------------
+
+    def _make_publish_handler(self, namespace: str):
+        store = self.stores[namespace]
+
+        def handle(request: RPCRequest) -> dict[str, Any]:
+            data = request.body
+            if not isinstance(data, ConduitNode):
+                raise TypeError(
+                    f"publish to {namespace!r} expects a Conduit Node, "
+                    f"got {type(data).__name__}"
+                )
+            record = store.append(
+                time=self.session.env.now, source=request.client, data=data
+            )
+            self.publishes += 1
+            self.session.tracer.record(
+                "soma.publish",
+                namespace,
+                source=request.client,
+                nbytes=record.nbytes,
+            )
+            return {"stored": True, "nbytes": record.nbytes}
+
+        return handle
+
+    def _make_query_handler(self, namespace: str):
+        store = self.stores[namespace]
+
+        def handle(request: RPCRequest) -> Any:
+            body = request.body or {}
+            kind = body.get("kind", "records")
+            since = body.get("since")
+            until = body.get("until")
+            source = body.get("source")
+            if kind == "records":
+                return store.records(source=source, since=since, until=until)
+            if kind == "latest":
+                return store.latest(source=source)
+            if kind == "merged":
+                return store.merged(since=since, until=until)
+            if kind == "sources":
+                return sorted(store.sources())
+            if kind == "stats":
+                return {
+                    "records": len(store),
+                    "bytes": store.total_bytes,
+                    "sources": len(store.sources()),
+                }
+            raise ValueError(f"unknown query kind {kind!r}")
+
+        return handle
+
+    # -- offline access (after the run) ---------------------------------------------
+
+    def store(self, namespace: str) -> NamespaceStore:
+        return self.stores[namespace]
+
+
+def soma_service_description(
+    session: "Session",
+    config: SomaConfig,
+    ranks: int | None = None,
+) -> TaskDescription:
+    """The RP task description for the SOMA service task.
+
+    The service task "can specify its resource requirements like any
+    other regular RP application task" (Sec 2.3.1): one core per
+    service rank, spreading over multiple service nodes when the rank
+    count exceeds one node (Scaling B runs up to 1024 ranks).
+    """
+    model = SomaServiceModel(session, config)
+    return TaskDescription(
+        name="soma-service",
+        model=model,
+        ranks=ranks if ranks is not None else config.total_ranks,
+        cores_per_rank=1,
+        mode=TaskMode.SERVICE,
+        multi_node=True,
+        metadata={"soma_model": model},
+    )

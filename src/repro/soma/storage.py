@@ -1,0 +1,96 @@
+"""Time-indexed storage behind each SOMA service instance.
+
+Each namespace instance stores the Conduit trees its clients publish,
+keyed by arrival time and source.  Analysis code queries these stores
+online (through the service) or offline (after the run).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..conduit import Node
+
+__all__ = ["PublishedRecord", "NamespaceStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class PublishedRecord:
+    """One published Conduit tree."""
+
+    time: float
+    source: str
+    data: Node
+    nbytes: float
+
+
+class NamespaceStore:
+    """Append-mostly, time-ordered store for one namespace."""
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
+        self._records: list[PublishedRecord] = []
+        self._times: list[float] = []
+        self.total_bytes = 0.0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, time: float, source: str, data: Node) -> PublishedRecord:
+        nbytes = data.nbytes()
+        record = PublishedRecord(time=time, source=source, data=data, nbytes=nbytes)
+        # Publishes arrive in RPC-completion order, which is time order
+        # within one environment; insort keeps us safe regardless.
+        if self._times and time < self._times[-1]:
+            idx = bisect.bisect_right(self._times, time)
+            self._times.insert(idx, time)
+            self._records.insert(idx, record)
+        else:
+            self._times.append(time)
+            self._records.append(record)
+        self.total_bytes += nbytes
+        return record
+
+    # -- queries ----------------------------------------------------------
+
+    def records(
+        self,
+        source: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[PublishedRecord]:
+        lo = 0 if since is None else bisect.bisect_left(self._times, since)
+        hi = (
+            len(self._times)
+            if until is None
+            else bisect.bisect_right(self._times, until)
+        )
+        out = self._records[lo:hi]
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        return out
+
+    def latest(self, source: str | None = None) -> PublishedRecord | None:
+        if source is None:
+            return self._records[-1] if self._records else None
+        for record in reversed(self._records):
+            if record.source == source:
+                return record
+        return None
+
+    def sources(self) -> set[str]:
+        return {r.source for r in self._records}
+
+    def merged(
+        self, since: float | None = None, until: float | None = None
+    ) -> Node:
+        """One Conduit tree merging every stored publish in range."""
+        root = Node()
+        for record in self.records(since=since, until=until):
+            root.update(record.data)
+        return root
+
+    def __iter__(self) -> Iterator[PublishedRecord]:
+        return iter(self._records)

@@ -1,0 +1,25 @@
+"""Workload models: OpenFOAM/AdditiveFOAM, DeepDriveMD mini-app, synthetic."""
+
+from .ddmd import (
+    DDMDParams,
+    GPUStageTaskModel,
+    STAGE_NAMES,
+    SelectionTaskModel,
+    ddmd_phase_stages,
+)
+from .openfoam import OpenFOAMParams, OpenFOAMTaskModel, openfoam_task_description
+from .synthetic import heterogeneous_bag, strong_scaling_sweep, uniform_bag
+
+__all__ = [
+    "DDMDParams",
+    "GPUStageTaskModel",
+    "OpenFOAMParams",
+    "OpenFOAMTaskModel",
+    "STAGE_NAMES",
+    "SelectionTaskModel",
+    "ddmd_phase_stages",
+    "heterogeneous_bag",
+    "openfoam_task_description",
+    "strong_scaling_sweep",
+    "uniform_bag",
+]

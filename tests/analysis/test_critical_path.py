@@ -1,0 +1,81 @@
+"""Critical-path decomposition of pipelines and tasks."""
+
+import pytest
+
+from repro.analysis import breakdown_task, pipeline_critical_path
+from repro.entk import AppManager, Pipeline, Stage
+from repro.platform import summit_like
+from repro.rp import (
+    Client,
+    FixedDurationModel,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+
+
+@pytest.fixture(scope="module")
+def executed_pipeline():
+    session = Session(cluster_spec=summit_like(3), seed=6)
+    client = Client(session)
+    env = session.env
+    pipeline = Pipeline(
+        stages=[
+            Stage(
+                name="wide",
+                tasks=[
+                    TaskDescription(
+                        name=f"w{i}", model=FixedDurationModel(10.0 + i)
+                    )
+                    for i in range(3)
+                ],
+            ),
+            Stage(
+                name="narrow",
+                tasks=[TaskDescription(name="n", model=FixedDurationModel(5.0))],
+            ),
+        ]
+    )
+
+    def main(env):
+        yield from client.submit_pilot(PilotDescription(nodes=2))
+        manager = AppManager(client)
+        yield from manager.run([pipeline])
+
+    env.run(env.process(main(env)))
+    client.close()
+    return pipeline
+
+
+def test_breakdown_accounts_for_whole_lifetime(executed_pipeline):
+    task = executed_pipeline.stages[0].tasks[0]
+    breakdown = breakdown_task(task)
+    wall = task.finished_at - task.submitted_at
+    assert breakdown.total == pytest.approx(wall, rel=1e-6)
+    assert breakdown.execution_seconds == pytest.approx(10.0, rel=0.05)
+    assert 0.0 <= breakdown.overhead_fraction < 1.0
+
+
+def test_critical_path_picks_slowest_task(executed_pipeline):
+    path = pipeline_critical_path(executed_pipeline)
+    assert [s.name for s in path.stages] == ["wide", "narrow"]
+    # The slowest of the wide stage (12s task, name w2) is critical.
+    assert path.stages[0].critical_task.endswith(
+        executed_pipeline.stages[0].tasks[2].uid
+    )
+
+
+def test_path_sums_bounded_by_makespan(executed_pipeline):
+    path = pipeline_critical_path(executed_pipeline)
+    total = path.execution_seconds + path.queue_seconds + path.overhead_seconds
+    # The per-stage critical chain can't exceed the makespan by much
+    # (client-side feeding overlaps the previous stage slightly).
+    assert total <= path.makespan * 1.1
+    assert path.execution_seconds == pytest.approx(12.0 + 5.0, rel=0.1)
+    summary = path.summary()
+    assert set(summary) == {"makespan", "execution", "queue", "overhead"}
+
+
+def test_unfinished_pipeline_rejected():
+    with pytest.raises(ValueError):
+        pipeline_critical_path(Pipeline())

@@ -1,0 +1,99 @@
+"""Statistics, report rendering, overhead accounting."""
+
+import pytest
+
+from repro.analysis import (
+    OverheadResult,
+    Summary,
+    compare_runtimes,
+    group_by,
+    makespan_overhead,
+    percent_change,
+    render_boxes,
+    render_series,
+    render_table,
+    sparkline,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=1.50" in text
+
+
+class TestHelpers:
+    def test_group_by(self):
+        groups = group_by([("a", 1), ("b", 2), ("a", 3)])
+        assert groups == {"a": [1, 3], "b": [2]}
+
+    def test_percent_change(self):
+        assert percent_change(100.0, 110.0) == pytest.approx(10.0)
+        assert percent_change(100.0, 90.0) == pytest.approx(-10.0)
+        assert percent_change(0.0, 50.0) == 0.0
+
+    def test_makespan_overhead(self):
+        assert makespan_overhead(100.0, 104.6) == pytest.approx(4.6)
+
+
+class TestCompareRuntimes:
+    def test_overheads_and_speedups(self):
+        baseline = [100.0, 100.0]
+        results = compare_runtimes(
+            baseline,
+            {"slow": [105.0, 105.0], "fast": [95.0, 95.0]},
+        )
+        by_name = {r.config: r for r in results}
+        assert by_name["slow"].overhead_percent == pytest.approx(5.0)
+        assert not by_name["slow"].is_speedup
+        assert by_name["fast"].overhead_percent == pytest.approx(-5.0)
+        assert by_name["fast"].is_speedup
+
+
+class TestRendering:
+    def test_render_table_aligned(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_sparkline_monotone(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] <= line[-1]
+
+    def test_sparkline_flat(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_render_series(self):
+        text = render_series("runtime", [0, 1, 2], [10.0, 20.0, 15.0], "s")
+        assert "runtime" in text
+        assert "10.00" in text and "20.00" in text
+
+    def test_render_series_empty(self):
+        assert "(empty)" in render_series("x", [], [])
+
+    def test_render_boxes(self):
+        text = render_boxes({"cfg": [1.0, 2.0, 3.0]}, title="Fig")
+        assert "cfg" in text
+        assert "median" in text

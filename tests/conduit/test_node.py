@@ -1,0 +1,232 @@
+"""Conduit Node: paths, leaves, merge, diff, serialization, size."""
+
+import pytest
+
+from repro.conduit import Node, PathError
+
+
+class TestPathAccess:
+    def test_set_get_scalar(self):
+        n = Node()
+        n["a/b/c"] = 42
+        assert n["a/b/c"] == 42
+
+    def test_intermediate_nodes_materialized(self):
+        n = Node()
+        n["x/y/z"] = 1.5
+        assert "x" in n
+        assert "x/y" in n
+        assert n["x"].is_object
+
+    def test_missing_path_raises(self):
+        n = Node()
+        with pytest.raises(PathError):
+            n["nope"]
+
+    def test_get_with_default(self):
+        n = Node()
+        assert n.get("missing", "fallback") == "fallback"
+        n["a"] = 1
+        assert n.get("a") == 1
+
+    def test_empty_path_rejected(self):
+        n = Node()
+        with pytest.raises(PathError):
+            n[""] = 1
+
+    def test_slashes_normalized(self):
+        n = Node()
+        n["a//b/"] = 1
+        assert n["a/b"] == 1
+
+    def test_descend_through_leaf_rejected(self):
+        n = Node()
+        n["a"] = 1
+        with pytest.raises(PathError):
+            n["a/b"] = 2
+
+    def test_assign_value_to_object_rejected(self):
+        n = Node()
+        n["a/b"] = 1
+        with pytest.raises(PathError):
+            n["a"] = 2
+
+    def test_delete(self):
+        n = Node()
+        n["a/b"] = 1
+        del n["a/b"]
+        assert "a/b" not in n
+        assert "a" in n
+
+    def test_delete_missing_raises(self):
+        n = Node()
+        with pytest.raises(PathError):
+            del n["ghost"]
+
+
+class TestLeafTypes:
+    def test_supported_scalars(self):
+        n = Node()
+        for i, value in enumerate([1, 2.5, "s", True, b"raw", None]):
+            n[f"k{i}"] = value
+            assert n[f"k{i}"] == value
+
+    def test_scalar_list(self):
+        n = Node()
+        n["arr"] = [1, 2, 3]
+        assert n["arr"] == [1, 2, 3]
+
+    def test_nested_list_rejected(self):
+        n = Node()
+        with pytest.raises(TypeError):
+            n["bad"] = [[1], [2]]
+
+    def test_arbitrary_object_rejected(self):
+        n = Node()
+        with pytest.raises(TypeError):
+            n["bad"] = object()
+
+    def test_dict_assignment_builds_subtree(self):
+        n = Node()
+        n.fetch("root").set({"a": 1, "b": {"c": 2}})
+        assert n["root/a"] == 1
+        assert n["root/b/c"] == 2
+
+
+class TestIteration:
+    def test_child_names_ordered(self):
+        n = Node()
+        n["b"] = 1
+        n["a"] = 2
+        assert n.child_names() == ["b", "a"]
+
+    def test_leaves(self):
+        n = Node()
+        n["x/y"] = 1
+        n["x/z"] = 2
+        n["w"] = 3
+        assert dict(n.leaves()) == {"x/y": 1, "x/z": 2, "w": 3}
+
+    def test_paths(self):
+        n = Node()
+        n["a/b"] = 1
+        assert n.paths() == ["a/b"]
+
+    def test_num_leaves(self):
+        n = Node()
+        n["a"] = 1
+        n["b/c"] = 2
+        assert n.num_leaves() == 2
+
+    def test_len_counts_children(self):
+        n = Node()
+        n["a"] = 1
+        n["b"] = 2
+        assert len(n) == 2
+
+
+class TestMerge:
+    def test_update_disjoint(self):
+        a, b = Node(), Node()
+        a["x"] = 1
+        b["y"] = 2
+        a.update(b)
+        assert a["x"] == 1 and a["y"] == 2
+
+    def test_update_overwrites_leaves(self):
+        a, b = Node(), Node()
+        a["k"] = "old"
+        b["k"] = "new"
+        a.update(b)
+        assert a["k"] == "new"
+
+    def test_update_deep(self):
+        a, b = Node(), Node()
+        a["r/one"] = 1
+        b["r/two"] = 2
+        a.update(b)
+        assert a["r/one"] == 1 and a["r/two"] == 2
+
+    def test_update_leaf_onto_object_rejected(self):
+        a, b = Node(), Node()
+        a["r/x"] = 1
+        b["r"] = 5
+        with pytest.raises(PathError):
+            a.update(b)
+
+    def test_update_does_not_alias(self):
+        a, b = Node(), Node()
+        b["k/v"] = 1
+        a.update(b)
+        b["k/v2"] = 2
+        assert "k/v2" not in a
+
+
+class TestDiffEquality:
+    def test_equal_trees(self):
+        a, b = Node(), Node()
+        for n in (a, b):
+            n["p/q"] = 1
+        assert a == b
+        assert a.diff(b) == []
+
+    def test_diff_reports_paths(self):
+        a, b = Node(), Node()
+        a["x"] = 1
+        a["same"] = 0
+        b["y"] = 2
+        b["same"] = 0
+        assert sorted(a.diff(b)) == ["x", "y"]
+
+    def test_diff_value_change(self):
+        a, b = Node(), Node()
+        a["k"] = 1
+        b["k"] = 2
+        assert a.diff(b) == ["k"]
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        n = Node()
+        n["a/b"] = 1
+        n["a/c"] = "text"
+        n["a/d"] = [1.5, 2.5]
+        n["raw"] = b"\x00\x01"
+        restored = Node.from_json(n.to_json())
+        assert restored == n
+
+    def test_to_dict(self):
+        n = Node()
+        n["a/b"] = 1
+        assert n.to_dict() == {"a": {"b": 1}}
+
+    def test_from_dict(self):
+        n = Node.from_dict({"a": {"b": 2}, "c": 3})
+        assert n["a/b"] == 2 and n["c"] == 3
+
+    def test_copy_is_deep(self):
+        n = Node()
+        n["a/b"] = [1, 2]
+        c = n.copy()
+        c["a/b"].append(3)
+        assert n["a/b"] == [1, 2]
+
+
+class TestSize:
+    def test_nbytes_grows_with_content(self):
+        small, big = Node(), Node()
+        small["k"] = 1
+        for i in range(100):
+            big[f"path/to/leaf{i}"] = float(i)
+        assert big.nbytes() > small.nbytes() > 0
+
+    def test_nbytes_string_length(self):
+        a, b = Node(), Node()
+        a["k"] = "x"
+        b["k"] = "x" * 1000
+        assert b.nbytes() - a.nbytes() == 999
+
+    def test_render_contains_values(self):
+        n = Node()
+        n["task/event"] = "launch_start"
+        assert "launch_start" in n.render()

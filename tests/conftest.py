@@ -1,0 +1,18 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+def run(env: Environment, generator, until=None):
+    """Run a generator as a process and return its value."""
+    proc = env.process(generator)
+    return env.run(proc if until is None else until)

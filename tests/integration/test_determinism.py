@@ -1,0 +1,63 @@
+"""Reproducibility: same seed -> bit-identical results."""
+
+import pytest
+
+from repro.experiments import (
+    TUNING,
+    execution_times_by_ranks,
+    run_openfoam_experiment,
+)
+from repro.experiments.ddmd_exps import (
+    SCALING_B,
+    pipeline_durations,
+    run_ddmd_experiment,
+)
+
+
+def test_openfoam_run_is_deterministic():
+    a = run_openfoam_experiment(TUNING, seed=33)
+    b = run_openfoam_experiment(TUNING, seed=33)
+    assert a.makespan == b.makespan
+    assert execution_times_by_ranks(a) == execution_times_by_ranks(b)
+
+
+def test_openfoam_seed_changes_results():
+    a = run_openfoam_experiment(TUNING, seed=33)
+    b = run_openfoam_experiment(TUNING, seed=34)
+    assert a.makespan != b.makespan
+
+
+def test_ddmd_run_is_deterministic():
+    exp = SCALING_B(4, "exclusive").with_updates(
+        soma_nodes=1, soma_ranks_per_namespace=2
+    )
+    a = run_ddmd_experiment(exp, seed=9)
+    b = run_ddmd_experiment(exp, seed=9)
+    assert pipeline_durations(a) == pipeline_durations(b)
+
+
+def test_paired_noise_across_configurations():
+    """Common random numbers: the same task in different monitoring
+    configurations draws identical duration noise, so config deltas
+    are not noise artefacts."""
+    base = SCALING_B(4, "none").with_updates(soma_nodes=0)
+    mon = SCALING_B(4, "exclusive").with_updates(
+        soma_nodes=1, soma_ranks_per_namespace=2
+    )
+    a = run_ddmd_experiment(base, seed=9)
+    b = run_ddmd_experiment(mon, seed=9)
+
+    def noise_of(result):
+        out = {}
+        for task in result.tasks.values():
+            if task.description.metadata.get("stage") == "simulation":
+                profile = task.result.rank_profiles[0]
+                out[task.description.name] = profile.seconds_by_region[
+                    "gpu_kernel"
+                ]
+        return out
+
+    na, nb = noise_of(a), noise_of(b)
+    assert na.keys() == nb.keys()
+    for name in na:
+        assert na[name] == pytest.approx(nb[name])

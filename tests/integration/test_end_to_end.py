@@ -1,0 +1,131 @@
+"""Full-stack integration: complete experiment runs, small scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALING_B,
+    TUNING,
+    execution_times_by_ranks,
+    pipeline_durations,
+    run_ddmd_experiment,
+    run_openfoam_experiment,
+    tuning_experiment,
+)
+from repro.soma import (
+    HARDWARE,
+    PERFORMANCE,
+    WORKFLOW,
+    cpu_utilization_series,
+    load_imbalance,
+    rank_region_breakdown,
+    task_throughput,
+    workflow_summary_series,
+)
+
+
+@pytest.fixture(scope="module")
+def openfoam_tuning():
+    return run_openfoam_experiment(TUNING, seed=11)
+
+
+class TestOpenFOAMTuning:
+    def test_all_tasks_complete(self, openfoam_tuning):
+        res = openfoam_tuning
+        times = execution_times_by_ranks(res)
+        assert set(times) == {20, 41, 82, 164}
+        assert all(len(v) == 1 for v in times.values())
+
+    def test_strong_scaling_order(self, openfoam_tuning):
+        times = execution_times_by_ranks(openfoam_tuning)
+        assert times[20][0] > times[82][0]
+        assert times[41][0] > times[164][0]
+
+    def test_all_three_namespaces_populated(self, openfoam_tuning):
+        res = openfoam_tuning
+        assert len(res.deployment.store(WORKFLOW)) > 0
+        assert len(res.deployment.store(HARDWARE)) > 0
+        assert len(res.deployment.store(PERFORMANCE)) == 4  # one per task
+
+    def test_fig7_series_and_markers(self, openfoam_tuning):
+        from repro.soma import task_state_observations
+
+        res = openfoam_tuning
+        series = cpu_utilization_series(res.deployment.store(HARDWARE))
+        assert len(series) == 4  # one line per compute node
+        markers = task_state_observations(
+            res.deployment.store(WORKFLOW), event="AGENT_EXECUTING"
+        )
+        app_uids = {t.uid for t in res.application_tasks}
+        assert app_uids <= {uid for _, uid in markers}
+
+    def test_fig5_profile_data(self, openfoam_tuning):
+        res = openfoam_tuning
+        task20 = res.payload["by_ranks"][20][0]
+        store = res.deployment.store(PERFORMANCE)
+        breakdown = rank_region_breakdown(store, task20.uid)
+        assert len(breakdown) == 20
+        imbalance = load_imbalance(store, task20.uid)
+        assert imbalance >= 1.0
+
+    def test_throughput_series(self, openfoam_tuning):
+        res = openfoam_tuning
+        rates = task_throughput(res.deployment.store(WORKFLOW))
+        assert rates  # at least one interval
+        assert all(rate >= 0 for _, rate in rates)
+
+    def test_fig8_timeline(self, openfoam_tuning):
+        from repro.analysis import RUNNING, build_timeline
+
+        res = openfoam_tuning
+        timeline = build_timeline(res.session, res.tasks)
+        assert timeline.busy_core_seconds(RUNNING) > 0
+
+
+class TestDDMDTuningIntegration:
+    def test_six_phases_complete(self):
+        res = run_ddmd_experiment(tuning_experiment(), seed=7)
+        pipeline = res.payload["pipelines"][0]
+        assert len(pipeline.stages) == 24  # 6 phases x 4 stages
+        assert pipeline.succeeded
+
+    def test_fig9_low_cpu_utilization(self):
+        res = run_ddmd_experiment(tuning_experiment(), seed=7)
+        series = cpu_utilization_series(res.deployment.store(HARDWARE))
+        means = {
+            host: np.mean([p.cpu_utilization for p in pts])
+            for host, pts in series.items()
+        }
+        assert means
+        assert all(m < 0.30 for m in means.values())
+
+
+class TestScalingIntegration:
+    def test_small_scaling_run_all_modes(self):
+        """4-pipeline miniature of Scaling B: all modes complete."""
+        results = {}
+        for mode, freq in (
+            ("none", False),
+            ("shared", False),
+            ("exclusive", True),
+        ):
+            exp = SCALING_B(4, mode, frequent=freq).with_updates(
+                soma_nodes=1 if mode != "none" else 0,
+                soma_ranks_per_namespace=2,
+            )
+            res = run_ddmd_experiment(exp, seed=9)
+            durations = pipeline_durations(res)
+            assert len(durations) == 4
+            results[mode] = np.mean(durations)
+        # All durations in a sane band (same workload).
+        values = list(results.values())
+        assert max(values) / min(values) < 1.5
+
+    def test_monitoring_data_scales_with_nodes(self):
+        exp = SCALING_B(4, "exclusive").with_updates(
+            soma_nodes=1, soma_ranks_per_namespace=2
+        )
+        res = run_ddmd_experiment(exp, seed=9)
+        hw = res.deployment.store(HARDWARE)
+        # One series per app node (4) at least.
+        assert len(hw.sources()) >= 4

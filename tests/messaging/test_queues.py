@@ -1,0 +1,79 @@
+"""ZeroMQ-style component queues."""
+
+import pytest
+
+from repro.messaging import ComponentQueue, QueueRegistry
+from repro.sim import Environment
+
+
+def test_put_get_round_trip(env):
+    q = ComponentQueue(env, "pipe", latency=0.0)
+
+    def consumer(env):
+        msg = yield from q.get()
+        return (msg.topic, msg.body)
+
+    q.put("topic", {"k": 1}, sender="tester")
+    assert env.run(env.process(consumer(env))) == ("topic", {"k": 1})
+
+
+def test_latency_delays_delivery(env):
+    q = ComponentQueue(env, "pipe", latency=0.5)
+
+    def consumer(env):
+        msg = yield from q.get()
+        return env.now
+
+    q.put("t", None)
+    assert env.run(env.process(consumer(env))) == pytest.approx(0.5)
+
+
+def test_message_metadata(env):
+    q = ComponentQueue(env, "pipe", latency=0.0)
+    q.put("a", 1, sender="s1")
+
+    def consumer(env):
+        msg = yield from q.get()
+        return msg
+
+    msg = env.run(env.process(consumer(env)))
+    assert msg.sender == "s1"
+    assert msg.sent_at == 0.0
+
+
+def test_counters(env):
+    q = ComponentQueue(env, "pipe", latency=0.0)
+    q.put("a", 1)
+    q.put("b", 2)
+
+    def consumer(env):
+        yield from q.get()
+
+    env.run(env.process(consumer(env)))
+    assert q.enqueued == 2
+    assert q.dequeued == 1
+    assert len(q) == 1
+
+
+def test_registry_creates_and_caches(env):
+    reg = QueueRegistry(env)
+    q1 = reg.queue("alpha")
+    q2 = reg.queue("alpha")
+    assert q1 is q2
+    reg.queue("beta")
+    assert sorted(reg.names()) == ["alpha", "beta"]
+
+
+def test_fifo_order_preserved(env):
+    q = ComponentQueue(env, "pipe", latency=0.01)
+    for i in range(5):
+        q.put("t", i)
+
+    def consumer(env):
+        out = []
+        for _ in range(5):
+            msg = yield from q.get()
+            out.append(msg.body)
+        return out
+
+    assert env.run(env.process(consumer(env))) == [0, 1, 2, 3, 4]

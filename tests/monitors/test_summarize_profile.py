@@ -1,0 +1,79 @@
+"""Unit tests for the RP monitor's profile summarizer."""
+
+import pytest
+
+from repro.monitors import summarize_profile
+from repro.rp import ProfileRecord, TaskState
+
+
+def rec(t, uid, state):
+    return ProfileRecord(time=t, entity=uid, event="state", state=state)
+
+
+def test_empty_profile():
+    summary = summarize_profile([], now=100.0)
+    assert summary["tasks_seen"] == 0
+    assert summary["done"] == 0
+    assert summary["state_counts"] == {}
+
+
+def test_counts_by_last_state():
+    records = [
+        rec(0.0, "task.000000", TaskState.NEW),
+        rec(1.0, "task.000000", TaskState.AGENT_EXECUTING),
+        rec(0.0, "task.000001", TaskState.NEW),
+        rec(5.0, "task.000001", TaskState.DONE),
+        rec(0.0, "task.000002", TaskState.NEW),
+        rec(4.0, "task.000002", TaskState.FAILED),
+    ]
+    summary = summarize_profile(records, now=10.0)
+    assert summary["tasks_seen"] == 3
+    assert summary["running"] == 1
+    assert summary["done"] == 1
+    assert summary["failed"] == 1
+    assert summary["pending"] == 0
+
+
+def test_time_in_state_accumulates():
+    records = [
+        rec(0.0, "task.000000", TaskState.NEW),
+        rec(4.0, "task.000000", TaskState.AGENT_EXECUTING),
+        rec(10.0, "task.000000", TaskState.DONE),
+    ]
+    summary = summarize_profile(records, now=20.0)
+    assert summary["time_in_state"][TaskState.NEW] == pytest.approx(4.0)
+    assert summary["time_in_state"][TaskState.AGENT_EXECUTING] == (
+        pytest.approx(6.0)
+    )
+    # DONE is final: no open interval accrues to 'now'.
+    assert TaskState.DONE not in summary["time_in_state"]
+
+
+def test_open_interval_accrues_to_now():
+    records = [rec(2.0, "task.000000", TaskState.AGENT_SCHEDULING)]
+    summary = summarize_profile(records, now=12.0)
+    assert summary["time_in_state"][TaskState.AGENT_SCHEDULING] == (
+        pytest.approx(10.0)
+    )
+    assert summary["pending"] == 1
+
+
+def test_non_task_entities_ignored():
+    records = [
+        ProfileRecord(0.0, "pilot.0000", "state", "PMGR_ACTIVE"),
+        rec(0.0, "task.000000", TaskState.NEW),
+    ]
+    summary = summarize_profile(records, now=5.0)
+    assert summary["tasks_seen"] == 1
+
+
+def test_sub_state_events_do_not_change_state():
+    records = [
+        rec(0.0, "task.000000", TaskState.AGENT_EXECUTING),
+        ProfileRecord(
+            1.0, "task.000000", "rank_start", TaskState.AGENT_EXECUTING
+        ),
+    ]
+    summary = summarize_profile(records, now=5.0)
+    assert summary["running"] == 1
+    assert summary["state_counts"] == {TaskState.AGENT_EXECUTING: 1}

@@ -1,0 +1,68 @@
+"""Step integrators and event counters."""
+
+import pytest
+
+from repro.platform.metering import EventCounter, StepIntegrator
+from repro.sim import Environment
+
+
+class TestStepIntegrator:
+    def test_integral_of_constant(self, env):
+        meter = StepIntegrator(env, initial=3.0)
+        env.run(until=10)
+        assert meter.integral == pytest.approx(30.0)
+
+    def test_integral_of_steps(self, env):
+        meter = StepIntegrator(env)
+        meter.add(2)            # t=0: 2
+        env.run(until=5)
+        meter.add(3)            # t=5: 5
+        env.run(until=10)
+        meter.add(-5)           # t=10: 0
+        env.run(until=20)
+        assert meter.integral == pytest.approx(2 * 5 + 5 * 5)
+
+    def test_set_value(self, env):
+        meter = StepIntegrator(env)
+        meter.set(7.0)
+        env.run(until=4)
+        assert meter.integral == pytest.approx(28.0)
+        assert meter.value == 7.0
+
+    def test_mean_over_window(self, env):
+        meter = StepIntegrator(env)
+        env.run(until=10)
+        meter.set(10.0)
+        env.run(until=20)
+        # Signal: 0 for [0,10), 10 for [10,20) -> mean over [0,20]=5
+        assert meter.mean(since=0.0) == pytest.approx(5.0)
+        assert meter.mean(since=10.0) == pytest.approx(10.0)
+
+    def test_history_records_transitions(self, env):
+        meter = StepIntegrator(env)
+        meter.add(1)
+        env.run(until=3)
+        meter.add(1)
+        history = meter.history()
+        assert history[0] == (0.0, 0.0)
+        assert history[-1] == (3.0, 2.0)
+
+
+class TestEventCounter:
+    def test_count(self, env):
+        counter = EventCounter(env)
+        for _ in range(5):
+            counter.hit()
+        assert counter.count == 5
+
+    def test_rate_window(self, env):
+        counter = EventCounter(env)
+        counter.hit()
+        env.run(until=100)
+        counter.hit()
+        counter.hit()
+        assert counter.rate(window=10.0) == pytest.approx(0.2)
+
+    def test_rate_zero_window(self, env):
+        counter = EventCounter(env)
+        assert counter.rate(0) == 0.0

@@ -1,0 +1,88 @@
+"""Synthetic /proc: cumulative counters and interval utilization."""
+
+import pytest
+
+from repro.platform import Cluster, summit_like
+from repro.sim import Environment
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(env, summit_like(2))
+
+
+def test_snapshot_fields(env, cluster):
+    node = cluster.nodes[0]
+    fs = cluster.procfs(node)
+    env.run(until=100)
+    snap = fs.read()
+    assert snap.hostname == node.name
+    assert snap.timestamp == 100.0
+    assert snap.uptime == pytest.approx(100.0)
+    assert snap.ncores == 42
+
+
+def test_utilization_differencing(env, cluster):
+    node = cluster.nodes[0]
+    fs = cluster.procfs(node)
+    snaps = []
+
+    def sampler(env):
+        for _ in range(4):
+            yield env.timeout(10)
+            snaps.append(fs.read())
+
+    def worker(env):
+        yield env.timeout(10)
+        act = node.run_compute(cores=21, work=20.0, mem_intensity=0.0)
+        yield act.done
+
+    env.process(sampler(env))
+    env.process(worker(env))
+    env.run()
+    utils = [
+        snap.utilization_since(prev)
+        for prev, snap in zip([None] + snaps[:-1], snaps)
+    ]
+    assert utils[0] == pytest.approx(0.0)
+    assert utils[1] == pytest.approx(0.5)  # 21 of 42 cores busy
+    assert utils[2] == pytest.approx(0.5)
+    assert utils[3] == pytest.approx(0.0)
+
+
+def test_utilization_bounded(env, cluster):
+    node = cluster.nodes[0]
+    fs = cluster.procfs(node)
+    act = node.run_compute(cores=42, work=100.0)
+    env.run(until=50)
+    snap = fs.read()
+    assert 0.0 <= snap.utilization_since(None) <= 1.0
+
+
+def test_to_conduit_tree_shape(env, cluster):
+    node = cluster.nodes[0]
+    env.run(until=30)
+    snap = cluster.procfs(node).read()
+    tree = snap.to_conduit()
+    base = f"PROC/{node.name}/{snap.timestamp:.6f}"
+    assert f"{base}/Uptime" in tree
+    assert f"{base}/Num Processes" in tree
+    assert f"{base}/Available RAM" in tree
+    assert tree[f"{base}/stat/ncores"] == 42
+
+
+def test_num_processes_counter(env, cluster):
+    node = cluster.nodes[0]
+    act = node.run_compute(cores=4, work=10.0)
+    snap = cluster.procfs(node).read()
+    assert snap.num_processes == 1
+    env.run(act.done)
+    assert cluster.procfs(node).read().num_processes == 0
+
+
+def test_gpu_busy_accounting(env, cluster):
+    node = cluster.nodes[0]
+    act = node.run_gpu_compute(gpus=3, work=node.spec.gpu_speed * 10)
+    env.run(act.done)
+    snap = cluster.procfs(node).read()
+    assert snap.gpu_busy_seconds == pytest.approx(30.0)

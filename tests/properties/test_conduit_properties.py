@@ -1,0 +1,118 @@
+"""Property-based tests for the Conduit data model."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conduit import Node
+
+# Path segments: nonempty, no slashes.
+segment = st.text(
+    alphabet=string.ascii_letters + string.digits + "._-",
+    min_size=1,
+    max_size=8,
+)
+path = st.lists(segment, min_size=1, max_size=4).map("/".join)
+scalar = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+    st.binary(max_size=16),
+)
+
+
+def build(pairs):
+    node = Node()
+    inserted = {}
+    for p, v in pairs:
+        try:
+            node[p] = v
+        except Exception:
+            # Prefix conflicts (leaf vs object) are legal rejections.
+            continue
+        inserted[p] = v
+        # Drop any previously recorded path invalidated by overwrite.
+        for other in list(inserted):
+            if other != p and (
+                other.startswith(p + "/") or p.startswith(other + "/")
+            ):
+                del inserted[other]
+    return node, inserted
+
+
+@given(st.lists(st.tuples(path, scalar), max_size=12))
+@settings(max_examples=200)
+def test_set_then_get_round_trip(pairs):
+    node, inserted = build(pairs)
+    for p, v in inserted.items():
+        got = node[p]
+        if isinstance(v, float) and isinstance(got, float):
+            assert got == v or (got != got and v != v)
+        else:
+            assert got == v
+
+
+@given(st.lists(st.tuples(path, scalar), max_size=12))
+@settings(max_examples=200)
+def test_json_round_trip_preserves_tree(pairs):
+    node, _ = build(pairs)
+    restored = Node.from_json(node.to_json())
+    assert restored.diff(node) == []
+
+
+@given(st.lists(st.tuples(path, scalar), max_size=10))
+@settings(max_examples=100)
+def test_copy_is_independent(pairs):
+    node, inserted = build(pairs)
+    clone = node.copy()
+    assert clone == node
+    clone["___mutant___"] = 1
+    assert "___mutant___" not in node
+
+
+@given(
+    st.lists(st.tuples(path, scalar), max_size=8),
+    st.lists(st.tuples(path, scalar), max_size=8),
+)
+@settings(max_examples=100)
+def test_update_union_of_leaves(pairs_a, pairs_b):
+    a, _ = build(pairs_a)
+    b, _ = build(pairs_b)
+    merged = a.copy()
+    try:
+        merged.update(b)
+    except Exception:
+        return  # structural conflict: leaf vs object — legal rejection
+    leaves_b = dict(b.leaves())
+    merged_leaves = dict(merged.leaves())
+    # Every leaf of b survives verbatim in the merge.
+    for p, v in leaves_b.items():
+        assert merged_leaves.get(p) == v or (v != v)
+
+
+@given(st.lists(st.tuples(path, scalar), max_size=10))
+@settings(max_examples=100)
+def test_diff_self_is_empty(pairs):
+    node, _ = build(pairs)
+    assert node.diff(node) == []
+    assert node == node.copy()
+
+
+@given(st.lists(st.tuples(path, scalar), max_size=10))
+@settings(max_examples=100)
+def test_nbytes_nonnegative_and_monotone(pairs):
+    node, _ = build(pairs)
+    before = node.nbytes()
+    assert before >= 0
+    node["zzz_extra/leaf"] = "payload"
+    assert node.nbytes() > before
+
+
+@given(st.lists(st.tuples(path, scalar), max_size=10))
+@settings(max_examples=100)
+def test_num_leaves_matches_iteration(pairs):
+    node, _ = build(pairs)
+    assert node.num_leaves() == len(list(node.leaves()))
+    assert node.num_leaves() == len(node.paths())

@@ -1,0 +1,119 @@
+"""Property-based tests on kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Store
+from repro.platform.rateshare import ContentionDomain, FairShareChannel
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(delays)
+@settings(max_examples=100)
+def test_time_never_goes_backwards(ds):
+    env = Environment()
+    observed = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for d in ds:
+        env.process(waiter(env, d))
+    env.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(ds)
+    assert env.now == max(ds)
+
+
+@given(delays)
+@settings(max_examples=100)
+def test_timeouts_fire_at_exact_times(ds):
+    env = Environment()
+    fired = {}
+
+    def waiter(env, i, delay):
+        yield env.timeout(delay)
+        fired[i] = env.now
+
+    for i, d in enumerate(ds):
+        env.process(waiter(env, i, d))
+    env.run()
+    for i, d in enumerate(ds):
+        assert fired[i] == d
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=30))
+@settings(max_examples=100)
+def test_store_is_fifo_lossless(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            received.append((yield store.get()))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_contention_never_speeds_up_work(jobs):
+    """With contention, each job takes at least its solo time."""
+    capacity = 10.0
+    env = Environment()
+    domain = ContentionDomain(env, capacity=capacity)
+    finish = {}
+
+    def runner(env, i, work, demand):
+        act = domain.execute(work=work, demand=demand, mem_intensity=0.5)
+        yield act.done
+        finish[i] = env.now
+
+    for i, (work, demand) in enumerate(jobs):
+        env.process(runner(env, i, work, demand))
+    env.run()
+    for i, (work, _) in enumerate(jobs):
+        assert finish[i] >= work * (1.0 - 1e-9)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_fair_channel_conserves_work(works):
+    """Total time >= total work / capacity (work conservation)."""
+    capacity = 5.0
+    env = Environment()
+    channel = FairShareChannel(env, capacity=capacity)
+    for work in works:
+        channel.execute(work=work)
+    env.run()
+    assert env.now >= sum(works) / capacity * (1.0 - 1e-9)
+    assert channel.delivered >= sum(works) * (1.0 - 1e-6)

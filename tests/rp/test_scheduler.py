@@ -1,0 +1,170 @@
+"""Agent scheduler: placement invariants, pinning, sharing policy."""
+
+import pytest
+
+from repro.platform import summit_like
+from repro.rp import (
+    Client,
+    FixedDurationModel,
+    PilotDescription,
+    Session,
+    TaskDescription,
+    TaskMode,
+    TaskState,
+)
+
+
+def run_pilot_with_tasks(
+    descriptions,
+    nodes=2,
+    service_nodes=0,
+    share=False,
+    cluster_nodes=8,
+    seed=1,
+):
+    session = Session(cluster_spec=summit_like(cluster_nodes), seed=seed)
+    client = Client(session)
+    env = session.env
+
+    def main(env):
+        pilot = yield from client.submit_pilot(
+            PilotDescription(
+                nodes=nodes,
+                agent_nodes=1,
+                service_nodes=service_nodes,
+                share_service_nodes=share,
+            )
+        )
+        tasks = client.submit_tasks(descriptions)
+        app = [t for t in tasks if t.is_application]
+        yield from client.wait_tasks(app)
+        return pilot, tasks
+
+    pilot, tasks = env.run(env.process(main(env)))
+    client.close()
+    return session, client, pilot, tasks
+
+
+class TestPlacementInvariants:
+    def test_no_core_oversubscription(self):
+        # 5 tasks x 20 cores on 2 nodes (84 cores): must serialize.
+        descriptions = [
+            TaskDescription(
+                name=f"t{i}", model=FixedDurationModel(10.0), ranks=20
+            )
+            for i in range(5)
+        ]
+        session, client, pilot, tasks = run_pilot_with_tasks(descriptions)
+        # Reconstruct concurrent core usage from alloc/free traces.
+        events = []
+        for rec in session.tracer.select(category="rp.alloc"):
+            task = client.task_manager.tasks[rec.name]
+            start = task.time_of("AGENT_EXECUTING")
+            stop = task.time_of("launch_stop")
+            events.append((start, +len(rec.get("cores"))))
+            events.append((stop, -len(rec.get("cores"))))
+        events.sort()
+        load, peak = 0, 0
+        for _, delta in events:
+            load += delta
+            peak = max(peak, load)
+        assert peak <= 2 * 42
+
+    def test_single_node_task_never_spans(self):
+        descriptions = [
+            TaskDescription(
+                name="gpu-task",
+                model=FixedDurationModel(5.0),
+                ranks=1,
+                cores_per_rank=4,
+                gpus_per_rank=1,
+                multi_node=False,
+            )
+        ]
+        _, _, _, tasks = run_pilot_with_tasks(descriptions)
+        assert len(tasks[0].nodelist) == 1
+
+    def test_multi_node_task_spans_when_needed(self):
+        descriptions = [
+            TaskDescription(
+                name="big", model=FixedDurationModel(5.0), ranks=60
+            )
+        ]
+        _, _, _, tasks = run_pilot_with_tasks(descriptions)
+        assert len(tasks[0].nodelist) == 2
+
+    def test_unschedulable_task_fails(self):
+        descriptions = [
+            TaskDescription(
+                name="toobig",
+                model=FixedDurationModel(5.0),
+                ranks=1,
+                cores_per_rank=43,  # more than any node has
+                multi_node=False,
+            ),
+            TaskDescription(name="ok", model=FixedDurationModel(1.0)),
+        ]
+        _, _, _, tasks = run_pilot_with_tasks(descriptions)
+        by_name = {t.description.name: t for t in tasks}
+        assert by_name["toobig"].state == TaskState.FAILED
+        assert by_name["ok"].state == TaskState.DONE
+
+
+class TestPinningAndPolicy:
+    def test_node_tag_pins_task(self):
+        descriptions = [
+            TaskDescription(
+                name="pinned",
+                model=FixedDurationModel(2.0),
+                tags={"node": "cn0002"},
+            )
+        ]
+        _, _, _, tasks = run_pilot_with_tasks(descriptions)
+        assert tasks[0].nodelist == ["cn0002"]
+
+    def test_colocate_agent_tag(self):
+        descriptions = [
+            TaskDescription(
+                name="agent-side",
+                model=FixedDurationModel(2.0),
+                tags={"colocate": "agent"},
+                mode=TaskMode.MONITOR,
+            ),
+            TaskDescription(name="app", model=FixedDurationModel(2.0)),
+        ]
+        session, client, pilot, tasks = run_pilot_with_tasks(descriptions)
+        by_name = {t.description.name: t for t in tasks}
+        assert by_name["agent-side"].nodelist == [pilot.agent_node.name]
+        # Application tasks never land on the agent node.
+        assert pilot.agent_node.name not in by_name["app"].nodelist
+
+    def test_exclusive_mode_keeps_apps_off_service_nodes(self):
+        descriptions = [
+            TaskDescription(
+                name=f"app{i}", model=FixedDurationModel(2.0), ranks=30
+            )
+            for i in range(4)
+        ]
+        _, client, pilot, tasks = run_pilot_with_tasks(
+            descriptions, nodes=2, service_nodes=1, share=False
+        )
+        service_names = {n.name for n in pilot.service_nodes}
+        for task in tasks:
+            assert not set(task.nodelist) & service_names
+
+    def test_shared_mode_allows_service_nodes(self):
+        # Overload the 1 compute node so spill-over must happen.
+        descriptions = [
+            TaskDescription(
+                name=f"app{i}", model=FixedDurationModel(3.0), ranks=30
+            )
+            for i in range(4)
+        ]
+        _, client, pilot, tasks = run_pilot_with_tasks(
+            descriptions, nodes=1, service_nodes=1, share=True
+        )
+        service_names = {n.name for n in pilot.service_nodes}
+        touched = set()
+        for task in tasks:
+            touched |= set(task.nodelist)
+        assert touched & service_names

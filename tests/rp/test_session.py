@@ -1,0 +1,59 @@
+"""Session: uids, jitter, stable RNG, wiring."""
+
+import pytest
+
+from repro.platform import summit_like
+from repro.rp import RPConfig, Session
+
+
+def test_uid_sequences_are_per_prefix():
+    session = Session(cluster_spec=summit_like(2))
+    assert session.new_uid("task") == "task.000000"
+    assert session.new_uid("task") == "task.000001"
+    assert session.new_uid("pilot") == "pilot.0000"
+    assert session.new_uid("task") == "task.000002"
+
+
+def test_jitter_bounds():
+    session = Session(cluster_spec=summit_like(2), seed=0)
+    nominal = 10.0
+    j = session.config.overhead_jitter
+    for _ in range(200):
+        value = session.jitter(nominal)
+        assert nominal * (1 - j) <= value <= nominal * (1 + j)
+
+
+def test_jitter_disabled():
+    session = Session(
+        cluster_spec=summit_like(2),
+        config=RPConfig(overhead_jitter=0.0),
+    )
+    assert session.jitter(5.0) == 5.0
+
+
+def test_stable_rng_reproducible_across_sessions():
+    a = Session(cluster_spec=summit_like(2), seed=7)
+    b = Session(cluster_spec=summit_like(2), seed=7)
+    assert a.stable_rng("x").normal() == b.stable_rng("x").normal()
+
+
+def test_stable_rng_seed_sensitivity():
+    a = Session(cluster_spec=summit_like(2), seed=7)
+    b = Session(cluster_spec=summit_like(2), seed=8)
+    assert a.stable_rng("x").normal() != b.stable_rng("x").normal()
+
+
+def test_profile_store_configured_from_config():
+    config = RPConfig(
+        profile_read_per_record=1e-3, profile_read_max_records=123
+    )
+    session = Session(cluster_spec=summit_like(2), config=config)
+    assert session.profiles.read_time_per_record == 1e-3
+    assert session.profiles.read_max_records == 123
+
+
+def test_session_owns_distinct_components():
+    session = Session(cluster_spec=summit_like(2))
+    assert session.cluster.env is session.env
+    assert session.tracer.env is session.env
+    assert session.rpc_registry.env is session.env

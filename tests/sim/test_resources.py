@@ -1,0 +1,127 @@
+"""Resource and PriorityResource semantics."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource
+
+
+def holder(env, resource, hold, log, tag, priority=None):
+    if priority is None:
+        request = resource.request()
+    else:
+        request = resource.request(priority=priority)
+    with request as req:
+        yield req
+        log.append((tag, env.now))
+        yield env.timeout(hold)
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_serializes_beyond_capacity(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+        for tag in "abc":
+            env.process(holder(env, res, 5, log, tag))
+        env.run()
+        assert log == [("a", 0.0), ("b", 5.0), ("c", 10.0)]
+
+    def test_parallel_within_capacity(self, env):
+        res = Resource(env, capacity=3)
+        log = []
+        for tag in "abc":
+            env.process(holder(env, res, 5, log, tag))
+        env.run()
+        assert [t for _, t in log] == [0.0, 0.0, 0.0]
+
+    def test_count_and_queue(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            with res.request() as req:
+                yield req
+                assert res.count == 1
+                yield env.timeout(1)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert res.count == 0
+        assert res.queue == []
+
+    def test_cancel_pending_request(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+
+        def canceller(env):
+            req = res.request()
+            yield env.timeout(0)  # it is queued behind the holder
+            req.cancel()
+            log.append("cancelled")
+
+        def first(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        env.process(first(env))
+        env.process(canceller(env))
+        env.run()
+        assert "cancelled" in log
+
+    def test_release_explicit(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            release = res.release(req)
+            yield release
+            return res.count
+
+        assert env.run(env.process(proc(env))) == 0
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        log = []
+
+        def blocker(env):
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(5)
+
+        env.process(blocker(env))
+
+        def late(env):
+            yield env.timeout(1)
+            env.process(holder(env, res, 1, log, "low", priority=10))
+            env.process(holder(env, res, 1, log, "high", priority=-10))
+
+        env.process(late(env))
+        env.run()
+        assert [tag for tag, _ in log] == ["high", "low"]
+
+    def test_fifo_within_same_priority(self, env):
+        res = PriorityResource(env, capacity=1)
+        log = []
+
+        def blocker(env):
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(5)
+
+        env.process(blocker(env))
+
+        def late(env):
+            yield env.timeout(1)
+            for tag in ("first", "second"):
+                env.process(holder(env, res, 1, log, tag, priority=5))
+
+        env.process(late(env))
+        env.run()
+        assert [tag for tag, _ in log] == ["first", "second"]

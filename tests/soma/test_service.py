@@ -1,0 +1,175 @@
+"""SOMA service + client over the full RP stack."""
+
+import pytest
+
+from repro.conduit import Node
+from repro.platform import summit_like
+from repro.rp import Client, PilotDescription, Session
+from repro.soma import (
+    ALL_NAMESPACES,
+    HARDWARE,
+    SomaClient,
+    SomaConfig,
+    WORKFLOW,
+    deploy_soma,
+    namespace_root,
+    soma_service_description,
+)
+
+
+@pytest.fixture
+def stack():
+    session = Session(cluster_spec=summit_like(4), seed=2)
+    client = Client(session)
+    return session, client
+
+
+def deploy(session, client, config):
+    env = session.env
+
+    def main(env):
+        pilot = yield from client.submit_pilot(
+            PilotDescription(nodes=2, agent_nodes=1)
+        )
+        deployment = yield from deploy_soma(client, pilot, config)
+        return pilot, deployment
+
+    return env.run(env.process(main(env)))
+
+
+class TestConfig:
+    def test_total_ranks(self):
+        cfg = SomaConfig(ranks_per_namespace=2, namespaces=(WORKFLOW, HARDWARE))
+        assert cfg.total_ranks == 4
+
+    def test_hardware_frequency_defaults_to_monitoring(self):
+        cfg = SomaConfig(monitoring_frequency=45.0)
+        assert cfg.effective_hardware_frequency == 45.0
+        cfg2 = cfg.with_updates(hardware_frequency=30.0)
+        assert cfg2.effective_hardware_frequency == 30.0
+
+    def test_namespace_roots(self):
+        assert namespace_root(WORKFLOW) == "RP"
+        assert namespace_root(HARDWARE) == "PROC"
+        with pytest.raises(ValueError):
+            namespace_root("bogus")
+
+    def test_all_namespaces_covered(self):
+        assert len(ALL_NAMESPACES) == 4
+
+
+class TestServiceDeployment:
+    def test_instances_registered_per_namespace(self, stack):
+        session, client = stack
+        config = SomaConfig(
+            namespaces=(WORKFLOW, HARDWARE), monitors=()
+        )
+        _, deployment = deploy(session, client, config)
+        for namespace in config.namespaces:
+            assert (
+                session.rpc_registry.try_lookup(f"soma.{namespace}")
+                is not None
+            )
+        client.close()
+
+    def test_service_description_resources(self):
+        session = Session(cluster_spec=summit_like(2))
+        config = SomaConfig(
+            ranks_per_namespace=3, namespaces=(WORKFLOW, HARDWARE)
+        )
+        td = soma_service_description(session, config)
+        assert td.total_cores == 6
+        assert td.mode == "service"
+
+    def test_publish_and_query(self, stack):
+        session, client = stack
+        config = SomaConfig(namespaces=(HARDWARE,), monitors=())
+        _, deployment = deploy(session, client, config)
+        env = session.env
+
+        def publisher(env):
+            soma = SomaClient(session, "test-client")
+            data = Node()
+            data["PROC/cn0001/1.0/Uptime"] = 100
+            ok = yield from soma.publish(HARDWARE, data)
+            assert ok
+            stats = yield from soma.query(HARDWARE, kind="stats")
+            return stats
+
+        stats = env.run(env.process(publisher(env)))
+        assert stats["records"] == 1
+        assert stats["sources"] == 1
+        store = deployment.store(HARDWARE)
+        assert len(store) == 1
+        assert store.latest().data["PROC/cn0001/1.0/Uptime"] == 100
+        client.close()
+
+    def test_query_kinds(self, stack):
+        session, client = stack
+        config = SomaConfig(namespaces=(HARDWARE,), monitors=())
+        deploy(session, client, config)
+        env = session.env
+
+        def proc(env):
+            soma = SomaClient(session, "q-client")
+            data = Node()
+            data["PROC/x"] = 1
+            yield from soma.publish(HARDWARE, data)
+            latest = yield from soma.query(HARDWARE, kind="latest")
+            merged = yield from soma.query(HARDWARE, kind="merged")
+            sources = yield from soma.query(HARDWARE, kind="sources")
+            records = yield from soma.query(HARDWARE, kind="records")
+            return latest, merged, sources, records
+
+        latest, merged, sources, records = env.run(env.process(proc(env)))
+        assert latest.data["PROC/x"] == 1
+        assert merged["PROC/x"] == 1
+        assert sources == ["q-client"]
+        assert len(records) == 1
+        client.close()
+
+    def test_publish_non_conduit_rejected_in_response(self, stack):
+        session, client = stack
+        config = SomaConfig(namespaces=(HARDWARE,), monitors=())
+        deploy(session, client, config)
+        env = session.env
+
+        def proc(env):
+            soma = SomaClient(session, "bad-client")
+            server = yield from soma.connect(HARDWARE)
+            response = yield from soma._rpc.call(
+                server, "publish", body={"not": "conduit"}, payload_bytes=10
+            )
+            return response
+
+        response = env.run(env.process(proc(env)))
+        assert not response.ok
+        assert isinstance(response.body, TypeError)
+        client.close()
+
+    def test_shutdown_surfaces_publish_failure(self, stack):
+        session, client = stack
+        config = SomaConfig(namespaces=(HARDWARE,), monitors=())
+        deploy(session, client, config)
+        env = session.env
+        client.close()  # tears the service down
+
+        def proc(env):
+            soma = SomaClient(session, "late-client")
+            data = Node()
+            data["PROC/y"] = 1
+            ok = yield from soma.publish(HARDWARE, data)
+            return ok, soma.publish_failures
+
+        ok, failures = env.run(env.process(proc(env)))
+        assert not ok
+        assert failures == 1
+
+    def test_store_raises_for_baseline(self):
+        from repro.soma import no_soma
+
+        session = Session(cluster_spec=summit_like(2))
+        deployment = no_soma(session)
+        assert not deployment.enabled
+        with pytest.raises(RuntimeError):
+            deployment.store(HARDWARE)

@@ -1,0 +1,69 @@
+"""Namespace stores: time-indexed publish storage."""
+
+import pytest
+
+from repro.conduit import Node
+from repro.soma import NamespaceStore
+
+
+def tree(**leaves):
+    node = Node()
+    for key, value in leaves.items():
+        node[key] = value
+    return node
+
+
+@pytest.fixture
+def store():
+    s = NamespaceStore("hardware")
+    s.append(1.0, "hwmon@cn0001", tree(a=1))
+    s.append(2.0, "hwmon@cn0002", tree(b=2))
+    s.append(3.0, "hwmon@cn0001", tree(a=3))
+    return s
+
+
+def test_len_and_bytes(store):
+    assert len(store) == 3
+    assert store.total_bytes > 0
+
+
+def test_records_time_window(store):
+    assert [r.time for r in store.records(since=1.5)] == [2.0, 3.0]
+    assert [r.time for r in store.records(until=2.0)] == [1.0, 2.0]
+    assert [r.time for r in store.records(since=1.5, until=2.5)] == [2.0]
+
+
+def test_records_by_source(store):
+    recs = store.records(source="hwmon@cn0001")
+    assert [r.time for r in recs] == [1.0, 3.0]
+
+
+def test_latest(store):
+    assert store.latest().time == 3.0
+    assert store.latest(source="hwmon@cn0002").time == 2.0
+    assert store.latest(source="ghost") is None
+
+
+def test_latest_empty():
+    assert NamespaceStore("x").latest() is None
+
+
+def test_sources(store):
+    assert store.sources() == {"hwmon@cn0001", "hwmon@cn0002"}
+
+
+def test_merged(store):
+    merged = store.merged()
+    assert merged["a"] == 3  # later publish wins
+    assert merged["b"] == 2
+
+
+def test_out_of_order_insert_keeps_time_order():
+    s = NamespaceStore("x")
+    s.append(5.0, "a", tree(v=1))
+    s.append(2.0, "b", tree(w=2))
+    assert [r.time for r in s.records()] == [2.0, 5.0]
+
+
+def test_iteration(store):
+    assert len(list(store)) == 3

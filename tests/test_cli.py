@@ -1,0 +1,57 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out
+    assert "summit-like" in out
+
+
+def test_openfoam_tuning(capsys):
+    assert main(["openfoam", "--experiment", "tuning", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "20 ranks" in out
+
+
+def test_ddmd_tuning(capsys):
+    assert main(["ddmd", "--experiment", "tuning", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "simulation" in out
+    assert "training" in out
+
+
+def test_scaling_small(capsys):
+    assert (
+        main(
+            [
+                "scaling",
+                "--pipelines",
+                "4",
+                "--modes",
+                "none",
+                "exclusive",
+                "--seed",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "pipeline runtimes" in out
+    assert "vs baseline" in out
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["scaling", "--modes", "bogus"])

@@ -1,0 +1,117 @@
+"""OpenFOAM task model: scaling shape, profiles, contention."""
+
+import math
+
+import pytest
+
+from repro.platform import summit_like
+from repro.rp import Client, PilotDescription, Session
+from repro.workloads import (
+    OpenFOAMParams,
+    OpenFOAMTaskModel,
+    openfoam_task_description,
+)
+
+
+class TestAnalyticModel:
+    def test_strong_scaling_monotone_over_paper_configs(self):
+        params = OpenFOAMParams()
+        times = [
+            params.ideal_time(r, math.ceil(r / 41)) for r in (20, 41, 82, 164)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_saturation_beyond_two_nodes(self):
+        """Fig 4: limited benefit scaling 82 -> 164 ranks."""
+        params = OpenFOAMParams()
+        t82 = params.ideal_time(82, 2)
+        t164 = params.ideal_time(164, 4)
+        gain_82_164 = (t82 - t164) / t82
+        t41 = params.ideal_time(41, 1)
+        gain_41_82 = (t41 - t82) / t41
+        assert gain_82_164 < gain_41_82
+        assert gain_82_164 < 0.25
+
+    def test_comm_grows_with_ranks(self):
+        params = OpenFOAMParams()
+        assert params.comm_seconds(164, 4) > params.comm_seconds(20, 1)
+
+    def test_comm_grows_with_spread(self):
+        params = OpenFOAMParams()
+        assert params.comm_seconds(20, 5) > params.comm_seconds(20, 1)
+
+    def test_with_updates(self):
+        params = OpenFOAMParams().with_updates(total_work=1.0)
+        assert params.total_work == 1.0
+
+
+def run_task(ranks, nodes=5, seed=1, params=None):
+    session = Session(cluster_spec=summit_like(nodes + 1), seed=seed)
+    client = Client(session)
+    env = session.env
+
+    def main(env):
+        yield from client.submit_pilot(
+            PilotDescription(nodes=nodes, agent_nodes=1)
+        )
+        tasks = client.submit_tasks(
+            [openfoam_task_description(ranks, params=params)]
+        )
+        yield from client.wait_tasks(tasks)
+        return tasks[0]
+
+    task = env.run(env.process(main(env)))
+    client.close()
+    return task
+
+
+class TestExecution:
+    def test_solo_execution_near_ideal(self):
+        params = OpenFOAMParams()
+        task = run_task(20, params=params)
+        nodes_used = len(task.nodelist)
+        ideal = params.ideal_time(20, nodes_used)
+        measured = task.result.data["elapsed"]
+        # Within 2x of ideal: contention-free run, modest self-demand.
+        assert ideal * 0.8 <= measured <= ideal * 2.0
+
+    def test_result_metadata(self):
+        task = run_task(41)
+        data = task.result.data
+        assert data["ranks"] == 41
+        assert data["nodes_used"] == len(task.nodelist)
+        assert data["compute_seconds"] > 0
+        assert data["comm_seconds"] > 0
+
+    def test_rank_profiles_complete(self):
+        task = run_task(20)
+        profiles = task.result.rank_profiles
+        assert len(profiles) == 20
+        assert sorted(p.rank for p in profiles) == list(range(20))
+        hostnames = {p.hostname for p in profiles}
+        assert hostnames <= set(task.nodelist)
+
+    def test_mpi_wait_dominates_for_fast_ranks(self):
+        """Fig 5: large portion of time in MPI_Recv and MPI_Waitall."""
+        task = run_task(20)
+        profiles = task.result.rank_profiles
+        # The fastest rank (least compute) waits the most.
+        by_compute = sorted(
+            profiles, key=lambda p: p.seconds_by_region["solveMomentum"]
+        )
+        fastest = by_compute[0]
+        mpi_wait = (
+            fastest.seconds_by_region["MPI_Recv"]
+            + fastest.seconds_by_region["MPI_Waitall"]
+        )
+        mpi_other = (
+            fastest.seconds_by_region["MPI_Allreduce"]
+            + fastest.seconds_by_region["MPI_Isend"]
+        )
+        assert mpi_wait > mpi_other
+
+    def test_rank_totals_roughly_flat(self):
+        """All ranks take about the same wall time (compute+wait)."""
+        task = run_task(20)
+        totals = [p.total() for p in task.result.rank_profiles]
+        assert max(totals) / min(totals) < 1.5
