@@ -15,6 +15,8 @@ pure Python over a from-scratch discrete-event simulation:
 * :mod:`repro.soma` — the paper's contribution: the SOMA service,
   client stub, namespaces, storage and online analysis;
 * :mod:`repro.monitors` — the hardware, RP-workflow and TAU clients;
+* :mod:`repro.faults` — deterministic fault injection (node crashes,
+  partitions, message loss, service outages) and bounded retry;
 * :mod:`repro.workloads` — OpenFOAM/AdditiveFOAM and DeepDriveMD
   mini-app models;
 * :mod:`repro.experiments` — the harnesses that regenerate every table
@@ -30,6 +32,7 @@ See ``examples/quickstart.py`` for a complete runnable walkthrough.
 """
 
 from ._version import __version__
+from .faults import FaultInjector, FaultPlan, RetryPolicy
 from .rp import (
     Client,
     PilotDescription,
@@ -42,7 +45,10 @@ from .soma import SomaClient, SomaConfig, deploy_soma
 __all__ = [
     "__version__",
     "Client",
+    "FaultInjector",
+    "FaultPlan",
     "PilotDescription",
+    "RetryPolicy",
     "Session",
     "SomaClient",
     "SomaConfig",

@@ -1,0 +1,56 @@
+"""Deterministic fault injection and bounded-retry robustness.
+
+Everything chaotic about a run is declared up front in a
+:class:`FaultPlan` and driven off the simulated clock by a
+:class:`FaultInjector`, so "chaos" runs replay bit-identically for a
+given (seed, plan) pair.  The matching robustness half —
+:class:`RetryPolicy` with deterministic backoff jitter — is what SOMA
+clients and RP's persistence paths use to degrade gracefully instead
+of stalling or crashing when a fault window opens.
+
+The typed transient errors (:class:`RPCTimeout`,
+:class:`ServiceUnavailable`) live in :mod:`repro.messaging.protocol`
+(the layer that raises them) and are re-exported here for convenience.
+"""
+
+from ..messaging.protocol import RPCError, RPCTimeout, ServiceUnavailable
+from .injector import FaultInjector, MessageFaultDecision, MessageFaults
+from .plan import (
+    FAULT_KINDS,
+    NODE_CRASH,
+    NODE_SLOWDOWN,
+    PARTITION,
+    PROFILE_OUTAGE,
+    RPC_DELAY,
+    RPC_DROP,
+    RPC_DUPLICATE,
+    SERVICE_OUTAGE,
+    WINDOWED_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
+from .retry import TRANSIENT_ERRORS, RetryExhausted, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageFaultDecision",
+    "MessageFaults",
+    "NODE_CRASH",
+    "NODE_SLOWDOWN",
+    "PARTITION",
+    "PROFILE_OUTAGE",
+    "RPCError",
+    "RPCTimeout",
+    "RPC_DELAY",
+    "RPC_DROP",
+    "RPC_DUPLICATE",
+    "RetryExhausted",
+    "RetryPolicy",
+    "SERVICE_OUTAGE",
+    "ServiceUnavailable",
+    "TRANSIENT_ERRORS",
+    "WINDOWED_KINDS",
+]

@@ -1,6 +1,13 @@
 """Communication substrates: ZeroMQ-style queues and Mochi-style RPC."""
 
-from .protocol import Message, RPCError, RPCRequest, RPCResponse
+from .protocol import (
+    Message,
+    RPCError,
+    RPCRequest,
+    RPCResponse,
+    RPCTimeout,
+    ServiceUnavailable,
+)
 from .queues import ComponentQueue, QueueRegistry
 from .rpc import RPCClient, RPCRegistry, RPCServer, ServerStats
 
@@ -14,5 +21,7 @@ __all__ = [
     "RPCRequest",
     "RPCResponse",
     "RPCServer",
+    "RPCTimeout",
     "ServerStats",
+    "ServiceUnavailable",
 ]

@@ -6,7 +6,14 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Message", "RPCRequest", "RPCResponse", "RPCError"]
+__all__ = [
+    "Message",
+    "RPCRequest",
+    "RPCResponse",
+    "RPCError",
+    "RPCTimeout",
+    "ServiceUnavailable",
+]
 
 _msg_ids = itertools.count()
 
@@ -48,3 +55,21 @@ class RPCResponse:
 
 class RPCError(Exception):
     """Raised on the client when a call fails (bad method, dead server)."""
+
+
+class RPCTimeout(RPCError):
+    """No response arrived within the call deadline.
+
+    Covers dropped requests/responses, partitions that outlast the
+    per-call timeout, and servers too slow to answer.  Transient:
+    retry policies treat it as retriable.
+    """
+
+
+class ServiceUnavailable(RPCError):
+    """The target service is not accepting calls (down or restarting).
+
+    Transient: the service may come back, so retry policies treat it
+    as retriable.  Also used for the RP profile store while its backing
+    file system is injected as unavailable.
+    """

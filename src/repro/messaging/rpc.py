@@ -19,14 +19,26 @@ the shared-node contention domain — this is exactly what makes the
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from ..sim.core import Environment, Event
+from ..sim.events import TimeoutExpired, with_timeout
 from ..sim.resources import Resource
 from ..sim.stores import Store
 from ..platform.network import Network
-from ..platform.node import Node
-from .protocol import RPCError, RPCRequest, RPCResponse
+from ..platform.node import Node, NodeFailure
+from .protocol import (
+    RPCError,
+    RPCRequest,
+    RPCResponse,
+    RPCTimeout,
+    ServiceUnavailable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from ..faults.retry import RetryPolicy
 
 __all__ = ["RPCServer", "RPCClient", "RPCRegistry", "ServerStats"]
 
@@ -102,6 +114,15 @@ class RPCServer:
         """Stop accepting calls (in-flight calls complete)."""
         self.alive = False
 
+    def restart(self) -> None:
+        """Come back up after an outage; handlers and state survive.
+
+        Mirrors an RP service-task restart on the same address: the
+        registry entry stays valid, so clients holding the old handle
+        reconnect transparently on their next retry.
+        """
+        self.alive = True
+
     def service_time_for(self, payload_bytes: float) -> float:
         return self.base_service_time + payload_bytes * self.per_byte_service_time
 
@@ -109,6 +130,10 @@ class RPCServer:
         self, request: RPCRequest
     ) -> Generator[Event, None, RPCResponse]:
         """Server-side handling: queue for a rank, work, reply."""
+        if not self.alive:
+            # Arrived after a shutdown (in-flight during an outage).
+            self.stats.errors += 1
+            raise ServiceUnavailable(f"server {self.name} is shut down")
         arrival = self.env.now
         with self._workers.request() as slot:
             yield slot
@@ -125,16 +150,24 @@ class RPCServer:
                 )
             service_time = self.service_time_for(request.payload_bytes)
             start = self.env.now
-            if self.node is not None and service_time > 0:
-                act = self.node.run_compute(
-                    cores=1,
-                    work=service_time * self.node.spec.core_speed,
-                    mem_intensity=0.2,
-                    tag=f"rpc:{self.name}",
-                )
-                yield act.done
-            elif service_time > 0:
-                yield self.env.timeout(service_time)
+            try:
+                if self.node is not None and service_time > 0:
+                    act = self.node.run_compute(
+                        cores=1,
+                        work=service_time * self.node.spec.core_speed,
+                        mem_intensity=0.2,
+                        tag=f"rpc:{self.name}",
+                    )
+                    yield act.done
+                elif service_time > 0:
+                    yield self.env.timeout(service_time)
+            except NodeFailure as exc:
+                # The hosting node died mid-service: to the caller this
+                # is an outage, not a handler bug.
+                self.stats.errors += 1
+                raise ServiceUnavailable(
+                    f"server {self.name} lost its node: {exc}"
+                ) from exc
             try:
                 body = handler(request)
                 ok = True
@@ -173,14 +206,19 @@ class RPCClient:
         name: str,
         node: Node | None = None,
         serialize_cost_per_byte: float = 1e-9,
+        rng: "np.random.Generator | None" = None,
     ) -> None:
         self.env = env
         self.network = network
         self.name = name
         self.node = node
         self.serialize_cost_per_byte = serialize_cost_per_byte
+        #: Source of deterministic backoff jitter for retrying calls.
+        self.rng = rng
         self.calls = 0
         self.failures = 0
+        self.retries = 0
+        self.timeouts = 0
         self.total_rtt = 0.0
 
     def call(
@@ -189,11 +227,62 @@ class RPCClient:
         method: str,
         body: Any = None,
         payload_bytes: float = 1024.0,
+        timeout: float | None = None,
+        retry: "RetryPolicy | None" = None,
     ) -> Generator[Event, None, RPCResponse]:
-        """Synchronous RPC (process generator): returns the response."""
+        """Synchronous RPC (process generator): returns the response.
+
+        ``timeout`` bounds a single attempt (:class:`RPCTimeout` on
+        expiry).  ``retry`` wraps the call in a
+        :class:`~repro.faults.RetryPolicy`: transient failures
+        (timeouts, unavailable service) are retried with deterministic
+        exponential backoff; permanent errors surface immediately.
+        """
+        if retry is not None:
+
+            def attempt() -> Generator[Event, None, RPCResponse]:
+                return self._call_once(server, method, body, payload_bytes)
+
+            def note_retry(attempt_no: int, delay: float, exc: BaseException) -> None:
+                self.retries += 1
+
+            result = yield from retry.execute(
+                self.env,
+                attempt,
+                rng=self.rng,
+                on_retry=note_retry,
+                name=f"rpc:{method}",
+            )
+            return result
+        if timeout is not None:
+            try:
+                result = yield from with_timeout(
+                    self.env,
+                    self._call_once(server, method, body, payload_bytes),
+                    timeout,
+                    name=f"rpc:{method}",
+                )
+            except TimeoutExpired as exc:
+                self.timeouts += 1
+                self.failures += 1
+                raise RPCTimeout(str(exc)) from None
+            return result
+        result = yield from self._call_once(server, method, body, payload_bytes)
+        return result
+
+    def _call_once(
+        self,
+        server: RPCServer,
+        method: str,
+        body: Any = None,
+        payload_bytes: float = 1024.0,
+    ) -> Generator[Event, None, RPCResponse]:
+        """One bare attempt: serialize, cross the wire, serve, reply."""
         if not server.alive:
             self.failures += 1
-            raise RPCError(f"server {server.name} is not accepting calls")
+            raise ServiceUnavailable(
+                f"server {server.name} is not accepting calls"
+            )
         start = self.env.now
         request = RPCRequest(
             method=method,
@@ -209,16 +298,53 @@ class RPCClient:
             yield act.done
         elif ser > 0:
             yield self.env.timeout(ser)
+        # Message-level fault gate (drop/delay/duplicate), if injected.
+        faults = self.network.message_faults
+        decision = faults.draw(method) if faults is not None else None
+        if decision is not None and decision.delay > 0:
+            yield self.env.timeout(decision.delay)
         # Request over the wire.
         yield from self.network.transfer(
-            payload_bytes, messages=1, tag=f"rpc:{method}"
+            payload_bytes,
+            messages=1,
+            tag=f"rpc:{method}",
+            src=self.node,
+            dst=server.node,
         )
+        if decision is not None and decision.action == "drop_request":
+            # The request is lost in transit; the caller only learns
+            # after its transport timeout expires.
+            self.failures += 1
+            self.timeouts += 1
+            yield self.env.timeout(faults.drop_stall)
+            raise RPCTimeout(f"rpc:{method}: request dropped in transit")
+        if decision is not None and decision.action == "duplicate":
+            duplicate = RPCRequest(
+                method=method,
+                payload_bytes=payload_bytes,
+                body=body,
+                client=self.name,
+                sent_at=start,
+            )
+            self.env.process(
+                _swallow(server._serve(duplicate)),
+                name=f"rpc-dup-{duplicate.uid}",
+            )
         # Server-side processing.
         response = yield from server._serve(request)
         # Response back over the wire.
         yield from self.network.transfer(
-            RESPONSE_BYTES, messages=1, tag=f"rpc:{method}:resp"
+            RESPONSE_BYTES,
+            messages=1,
+            tag=f"rpc:{method}:resp",
+            src=server.node,
+            dst=self.node,
         )
+        if decision is not None and decision.action == "drop_response":
+            self.failures += 1
+            self.timeouts += 1
+            yield self.env.timeout(faults.drop_stall)
+            raise RPCTimeout(f"rpc:{method}: response dropped in transit")
         self.calls += 1
         rtt = self.env.now - start
         self.total_rtt += rtt
@@ -230,6 +356,19 @@ class RPCClient:
     @property
     def mean_rtt(self) -> float:
         return self.total_rtt / self.calls if self.calls else 0.0
+
+
+def _swallow(generator: Generator[Event, Any, Any]) -> Generator[Event, Any, None]:
+    """Run a fire-and-forget generator, absorbing its failures.
+
+    Duplicate deliveries must not crash the run when the server dies
+    mid-service; their side effects (stored records, charged CPU) are
+    the point, not their return value.
+    """
+    try:
+        yield from generator
+    except Exception:
+        pass
 
 
 class RPCRegistry:

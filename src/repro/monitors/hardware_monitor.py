@@ -58,6 +58,7 @@ class HardwareMonitorModel(ServiceModel):
             name=f"hwmon@{node.name}",
             node=node,
             registry_prefix=self.config.registry_prefix,
+            retry=self.config.retry,
         )
         procfs = self.session.cluster.procfs(node)
         prev = None

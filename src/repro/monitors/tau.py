@@ -86,6 +86,7 @@ class TAUWrappedModel(TaskModel):
                 name=f"tau@{ctx.task.uid}",
                 node=None,
                 registry_prefix=self.config.registry_prefix,
+                retry=self.config.retry,
             )
             tree = profiles_to_conduit(ctx.task.uid, result.rank_profiles)
             ok = yield from client.publish(PERFORMANCE, tree)

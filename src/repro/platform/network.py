@@ -10,18 +10,38 @@ Everything that moves bytes — MPI halo exchanges inside application
 tasks, SOMA client publishes, RP control traffic — goes through this
 one object, so monitoring traffic and application traffic interfere
 exactly as they would on a shared fabric.
+Fault-injection hooks
+---------------------
+The fabric carries two pieces of fault state consulted by upper layers:
+
+* **rack partitions** — node indices are grouped into racks of
+  ``rack_size``; :meth:`Network.sever` blocks traffic between two racks
+  until :meth:`Network.heal`.  Transfers that declare their endpoints
+  (``src``/``dst``) park until the path heals; endpoint-less transfers
+  (e.g. intra-task MPI) are unaffected.
+* **message faults** — ``message_faults`` is an attachment point for a
+  :class:`repro.faults.MessageFaults` gate; the RPC layer consults it
+  to drop, delay or duplicate individual calls.  The platform layer
+  never imports it, so the dependency points strictly upward.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import TYPE_CHECKING, Generator
 
 from ..sim.core import Environment, Event
 from .metering import EventCounter
+from .node import Node
 from .rateshare import FairShareChannel
 from .specs import NetworkSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import MessageFaults
+
 __all__ = ["Network", "TransferStats"]
+
+#: Default nodes per rack (a Summit cabinet holds 18 nodes).
+DEFAULT_RACK_SIZE = 18
 
 
 class TransferStats:
@@ -44,7 +64,13 @@ class TransferStats:
 class Network:
     """Shared interconnect for a cluster."""
 
-    def __init__(self, env: Environment, spec: NetworkSpec, nodes: int) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        spec: NetworkSpec,
+        nodes: int,
+        rack_size: int = DEFAULT_RACK_SIZE,
+    ) -> None:
         self.env = env
         self.spec = spec
         self.nodes = nodes
@@ -52,6 +78,58 @@ class Network:
         self.fabric = FairShareChannel(env, capacity=bisection)
         self.stats = TransferStats()
         self.messages = EventCounter(env, keep=0)
+        #: Nodes per rack for the partition model (mutable: small test
+        #: clusters set 1 so every node is its own rack).
+        self.rack_size = rack_size
+        self._severed: set[frozenset[int]] = set()
+        self._heal_waiters: list[Event] = []
+        #: Transfers that had to park behind a severed rack pair.
+        self.blocked_transfers = 0
+        #: Attachment point for a fault-injection message gate; the RPC
+        #: layer consults it, the platform layer never touches it.
+        self.message_faults: "MessageFaults | None" = None
+
+    # -- partitions (fault injection) ----------------------------------
+
+    def rack_of(self, node: Node) -> int:
+        """The rack index ``node`` lives in."""
+        return node.index // max(1, self.rack_size)
+
+    def sever(self, rack_a: int, rack_b: int) -> None:
+        """Block all endpoint-declared traffic between two racks."""
+        if rack_a == rack_b:
+            raise ValueError("cannot partition a rack from itself")
+        self._severed.add(frozenset((rack_a, rack_b)))
+
+    def heal(self, rack_a: int | None = None, rack_b: int | None = None) -> None:
+        """Heal one severed rack pair (or all of them) and wake waiters."""
+        if rack_a is None:
+            self._severed.clear()
+        else:
+            self._severed.discard(frozenset((rack_a, rack_b)))
+        waiters, self._heal_waiters = self._heal_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._severed)
+
+    def path_blocked(self, src: Node | None, dst: Node | None) -> bool:
+        """True if ``src`` -> ``dst`` currently crosses a severed pair."""
+        if not self._severed or src is None or dst is None:
+            return False
+        return frozenset((self.rack_of(src), self.rack_of(dst))) in self._severed
+
+    def await_path(
+        self, src: Node, dst: Node
+    ) -> Generator[Event, None, None]:
+        """Park until the ``src`` -> ``dst`` path is connected again."""
+        while self.path_blocked(src, dst):
+            event = self.env.event()
+            self._heal_waiters.append(event)
+            yield event
 
     @property
     def bisection_bandwidth(self) -> float:
@@ -62,13 +140,21 @@ class Network:
         nbytes: float,
         messages: int = 1,
         tag: str = "data",
+        src: Node | None = None,
+        dst: Node | None = None,
     ) -> Generator[Event, None, float]:
         """Move ``nbytes`` (in ``messages`` messages) across the fabric.
 
         This is a process generator: ``yield from net.transfer(...)`` or
         ``env.process(net.transfer(...))``.  Returns the elapsed time.
+        Declaring ``src``/``dst`` makes the transfer partition-aware: it
+        parks until the rack pair is connected (callers bound the wait
+        with their own timeout).
         """
         start = self.env.now
+        if self.path_blocked(src, dst):
+            self.blocked_transfers += 1
+            yield from self.await_path(src, dst)  # type: ignore[arg-type]
         self.stats.record(tag, nbytes)
         self.messages.hit()
         overhead = self.spec.latency + self.spec.message_overhead * max(1, messages)

@@ -169,6 +169,8 @@ class Node:
         from everything else on the node.  ``work`` is the critical-path
         work of the slowest rank; all ranks progress together.
         """
+        if not self.alive:
+            raise NodeFailure(f"{self.name} is down")
         act = self.domain.execute(
             work=work,
             weight=self.spec.core_speed,
@@ -196,6 +198,8 @@ class Node:
         Modeled as a contention-free activity at ``gpu_speed`` per GPU
         group (the work value is the critical path of the slowest GPU).
         """
+        if not self.alive:
+            raise NodeFailure(f"{self.name} is down")
         act = self.domain.execute(
             work=work,
             weight=self.spec.gpu_speed,
@@ -262,6 +266,19 @@ class Node:
         self.busy_gpus.set(0)
         self.num_processes.set(0)
         self.domain.fail_all(NodeFailure(f"{self.name} failed"))
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Slow the node down (or restore it): fault injection hook.
+
+        Every resident computation — application ranks, monitor
+        sampling, RPC service work — runs at ``factor`` of nominal
+        speed until the factor is reset to 1.0.
+        """
+        self.domain.set_speed_factor(factor)
+
+    @property
+    def speed_factor(self) -> float:
+        return self.domain.speed_factor
 
     def cpu_utilization(self) -> float:
         """Instantaneous fraction of usable cores that are busy."""

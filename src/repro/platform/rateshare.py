@@ -127,6 +127,9 @@ class RatePool:
         self.active: list[Activity] = []
         #: Cumulative work delivered by this pool (for accounting).
         self.delivered = 0.0
+        #: Global rate multiplier (fault injection: a slowed node or a
+        #: degraded link runs every activity at a fraction of nominal).
+        self.speed_factor = 1.0
 
     # -- public API -----------------------------------------------------
 
@@ -155,6 +158,19 @@ class RatePool:
     def load(self) -> float:
         """Total demand currently placed on the pool."""
         return sum(a.demand for a in self.active)
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Change the pool-wide rate multiplier, re-pacing in-flight work.
+
+        Used by fault injection to slow a node (or a link) down and to
+        restore it: remaining work is advanced at the old rate first, so
+        the change is progress-preserving and fully deterministic.
+        """
+        if factor <= 0:
+            raise ValueError(f"speed factor must be positive, got {factor}")
+        self._settle()
+        self.speed_factor = float(factor)
+        self._reschedule()
 
     def rate_of(self, act: Activity) -> float:
         """Current instantaneous rate of ``act`` — overridden by pools."""
@@ -285,7 +301,10 @@ class FairShareChannel(RatePool):
         total_weight = sum(a.weight for a in self.active)
         if total_weight <= 0:
             return 0.0
-        return min(act.rate_cap, self.capacity * act.weight / total_weight)
+        return min(
+            act.rate_cap,
+            self.speed_factor * self.capacity * act.weight / total_weight,
+        )
 
     def utilization(self) -> float:
         """1.0 while any transfer is in flight, else 0.0."""
@@ -317,7 +336,7 @@ class ContentionDomain(RatePool):
     def rate_of(self, act: Activity) -> float:
         overload = max(1.0, self.load / self.capacity)
         slowdown = (1.0 - act.mem_intensity) + act.mem_intensity * overload
-        return act.weight / slowdown
+        return self.speed_factor * act.weight / slowdown
 
     def slowdown_of(self, act: Activity) -> float:
         overload = max(1.0, self.load / self.capacity)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
+from ...platform.node import NodeFailure
 from ...sim.core import Event, Interrupt, Process
 from ...sim.stores import Store
 from ..description import TaskMode
@@ -94,6 +95,11 @@ class AgentExecutor:
         node_names = ",".join(n.name for n in placement.nodes)
         interrupted = False
         try:
+            # A node that died between placement and launch fails the
+            # task up front instead of launching ranks into the void.
+            dead = [n.name for n in placement.nodes if not n.alive]
+            if dead:
+                raise NodeFailure(f"placement includes dead node(s) {dead}")
             yield from updater.advance(
                 task, TaskState.AGENT_EXECUTING, node=node_names
             )

@@ -20,7 +20,14 @@ from .core import (
     StopSimulation,
     Timeout,
 )
-from .events import AllOf, AnyOf, Condition, ConditionValue
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    TimeoutExpired,
+    with_timeout,
+)
 from .resources import PriorityResource, Release, Request, Resource
 from .stores import FilterStore, PriorityItem, PriorityStore, Store
 from .trace import TraceRecord, Tracer
@@ -37,6 +44,8 @@ __all__ = [
     "AnyOf",
     "Condition",
     "ConditionValue",
+    "TimeoutExpired",
+    "with_timeout",
     "PriorityResource",
     "Release",
     "Request",

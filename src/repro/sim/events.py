@@ -3,16 +3,42 @@
 Provides ``AllOf`` (fire when every child fired) and ``AnyOf`` (fire
 when the first child fires), matching the semantics processes need to
 wait on several things at once, e.g. "task finished OR shutdown
-requested".
+requested".  :func:`with_timeout` builds on ``AnyOf`` to race a child
+process against the clock — the primitive behind per-call deadlines in
+the RPC and retry layers.
 """
 
 from __future__ import annotations
 
+from collections.abc import Generator
 from typing import Any, Callable, Iterable
 
 from .core import Event, Environment, SimulationError
 
-__all__ = ["Condition", "AllOf", "AnyOf", "ConditionValue"]
+__all__ = [
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "TimeoutExpired",
+    "with_timeout",
+]
+
+
+class TimeoutExpired(SimulationError):
+    """Raised by :func:`with_timeout` when the child did not finish.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of what timed out.
+    timeout:
+        The deadline that was exceeded, in simulated seconds.
+    """
+
+    def __init__(self, message: str, timeout: float) -> None:
+        super().__init__(message)
+        self.timeout = timeout
 
 
 class ConditionValue:
@@ -124,3 +150,32 @@ class AnyOf(Condition):
     def __init__(self, env: Environment, events: Iterable[Event]) -> None:
         events = list(events)
         super().__init__(env, lambda evs, count: count > 0 or not evs, events)
+
+
+def with_timeout(
+    env: Environment,
+    generator: Generator[Event, Any, Any],
+    timeout: float | None,
+    name: str = "child",
+) -> Generator[Event, Any, Any]:
+    """Run ``generator`` as a child process, abandoning it after ``timeout``.
+
+    Process-generator helper: ``result = yield from with_timeout(...)``.
+    If the child finishes first its return value is returned (or its
+    exception re-raised).  If the clock wins, the child is interrupted
+    and :class:`TimeoutExpired` is raised in the caller.  A ``timeout``
+    of ``None`` just waits for the child.
+    """
+    proc = env.process(generator, name=name)
+    if timeout is None:
+        result = yield proc
+        return result
+    clock = env.timeout(timeout)
+    # A failed child fails the AnyOf, re-raising its exception here.
+    yield AnyOf(env, [proc, clock])
+    if proc.triggered:
+        if proc.ok:
+            return proc.value
+        raise proc.value
+    proc.interrupt("timeout")
+    raise TimeoutExpired(f"{name}: no result within {timeout}s", timeout)

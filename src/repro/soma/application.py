@@ -28,6 +28,7 @@ from .client import SomaClient
 from .namespaces import APPLICATION
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.retry import RetryPolicy
     from ..rp.session import Session
     from .service import SomaConfig
     from .storage import NamespaceStore
@@ -62,6 +63,7 @@ class ApplicationMetrics:
         session: "Session",
         task_uid: str,
         registry_prefix: str = "soma",
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         self.session = session
         self.task_uid = task_uid
@@ -70,6 +72,7 @@ class ApplicationMetrics:
             name=f"app@{task_uid}",
             node=None,
             registry_prefix=registry_prefix,
+            retry=retry,
         )
         self._pending: list[MetricSample] = []
         self.published_samples = 0
@@ -135,6 +138,7 @@ class InstrumentedModel(TaskModel):
             self.session,
             ctx.task.uid,
             registry_prefix=self.config.registry_prefix,
+            retry=self.config.retry,
         )
         ctx.task.description.metadata["app_metrics"] = metrics
         start = ctx.env.now

@@ -6,6 +6,18 @@ responsible for translating the API calls into remote procedure calls"
 (paper Sec 2.2.1).  The stub either runs inside the instrumented
 component's address space (TAU plugin) or as a separate binary on its
 own core (hardware / RP monitors) — pass ``node`` to charge that CPU.
+
+Degradation semantics
+---------------------
+Monitoring must never take the workflow down with it.  When a publish
+fails — service outage, dropped message, partition — the client retries
+under its :class:`~repro.faults.RetryPolicy` (if one is configured),
+then *drops the sample* and records the start of an observability gap.
+The first successful publish after a gap emits a ``soma.gap`` trace
+record with the gap's extent, and the client folds its own health
+counters (drops, retries, gap seconds) into the next published tree
+under ``SOMA/health/<client>/`` so the gap is visible in the monitoring
+data itself, not only in client-side state.
 """
 
 from __future__ import annotations
@@ -17,6 +29,7 @@ from ..messaging.rpc import RPCClient, RPCError, RPCServer
 from ..sim.core import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.retry import RetryPolicy
     from ..platform.node import Node
     from ..rp.session import Session
 
@@ -32,18 +45,31 @@ class SomaClient:
         name: str,
         node: "Node | None" = None,
         registry_prefix: str = "soma",
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         self.session = session
         self.env = session.env
         self.name = name
         self.node = node
         self.registry_prefix = registry_prefix
+        #: Policy applied to every publish/query RPC (None = single shot).
+        self.retry = retry
         self._rpc = RPCClient(
-            session.env, session.cluster.network, name=name, node=node
+            session.env,
+            session.cluster.network,
+            name=name,
+            node=node,
+            rng=session.stable_rng(f"rpc:{name}"),
         )
         self._servers: dict[str, RPCServer] = {}
         self.published = 0
         self.publish_failures = 0
+        #: Samples dropped after retries were exhausted.
+        self.dropped = 0
+        #: Completed observability gaps (drop ... next success).
+        self.gaps = 0
+        self.gap_seconds = 0.0
+        self._gap_since: dict[str, float] = {}
 
     # -- connection ---------------------------------------------------------
 
@@ -65,21 +91,33 @@ class SomaClient:
     ) -> Generator[Event, None, bool]:
         """Publish a Conduit tree to a namespace instance (blocking RPC).
 
-        Returns True on success; False if the service is gone (the
-        client surfaces the failure but does not crash its host).
+        Returns True on success; False if the sample was dropped after
+        the retry policy gave up (the client surfaces the failure but
+        does not crash or stall its host beyond the policy's deadline).
         """
         server = yield from self.connect(namespace)
+        self._annotate_health(data)
         nbytes = data.nbytes()
         try:
             yield from self._rpc.call(
-                server, "publish", body=data, payload_bytes=nbytes
+                server,
+                "publish",
+                body=data,
+                payload_bytes=nbytes,
+                retry=self.retry,
             )
-        except RPCError:
+        except RPCError as exc:
             self.publish_failures += 1
+            self.dropped += 1
+            self._gap_since.setdefault(namespace, self.env.now)
             self.session.tracer.record(
-                "soma.publish_failed", namespace, source=self.name
+                "soma.publish_failed",
+                namespace,
+                source=self.name,
+                error=type(exc).__name__,
             )
             return False
+        self._close_gap(namespace)
         self.published += 1
         return True
 
@@ -90,9 +128,50 @@ class SomaClient:
         server = yield from self.connect(namespace)
         body = {"kind": kind, **params}
         response = yield from self._rpc.call(
-            server, "query", body=body, payload_bytes=256.0
+            server, "query", body=body, payload_bytes=256.0, retry=self.retry
         )
         return response.body
+
+    # -- degradation bookkeeping ------------------------------------------------
+
+    def _close_gap(self, namespace: str) -> None:
+        started = self._gap_since.pop(namespace, None)
+        if started is None:
+            return
+        extent = self.env.now - started
+        self.gaps += 1
+        self.gap_seconds += extent
+        self.session.tracer.record(
+            "soma.gap",
+            namespace,
+            source=self.name,
+            started=started,
+            seconds=extent,
+        )
+
+    def _annotate_health(self, data: ConduitNode) -> None:
+        """Fold client health into the outgoing tree.
+
+        Only once something has gone wrong: a healthy client publishes
+        byte-identical payloads with or without fault injection wired
+        in, which is what the determinism regression pins down.
+        """
+        if self.dropped == 0 and self._rpc.retries == 0:
+            return
+        prefix = f"SOMA/health/{self.name}"
+        data[f"{prefix}/dropped"] = self.dropped
+        data[f"{prefix}/retries"] = self._rpc.retries
+        data[f"{prefix}/gap_seconds"] = self.gap_seconds
+
+    @property
+    def retries(self) -> int:
+        """Publish/query attempts beyond the first, across all calls."""
+        return self._rpc.retries
+
+    @property
+    def open_gaps(self) -> dict[str, float]:
+        """Namespace → gap start time for gaps still open."""
+        return dict(self._gap_since)
 
     @property
     def mean_rtt(self) -> float:

@@ -25,6 +25,7 @@ from .namespaces import ALL_NAMESPACES
 from .storage import NamespaceStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.retry import RetryPolicy
     from ..rp.session import Session
 
 __all__ = ["SomaConfig", "SomaServiceModel", "soma_service_description"]
@@ -50,6 +51,9 @@ class SomaConfig:
     per_byte_service_time: float = 2e-9
     #: Registry name prefix; clients look up "<prefix>.<namespace>".
     registry_prefix: str = "soma"
+    #: Retry policy handed to every monitor's SOMA client (None = each
+    #: publish is a single attempt, as in the failure-free paper runs).
+    retry: "RetryPolicy | None" = None
 
     @property
     def effective_hardware_frequency(self) -> float:

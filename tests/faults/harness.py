@@ -1,0 +1,72 @@
+"""Shared helpers for the chaos test battery.
+
+Every scenario boots a small pilot, arms a :class:`FaultInjector`, runs
+a workload through the fault window, and asserts two things: the
+workflow degraded the way the fault model promises, and the whole run
+is deterministic — the same (seed, plan) pair yields byte-identical
+trace and SOMA metric streams.
+"""
+
+from __future__ import annotations
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.platform import summit_like
+from repro.rp import Client, PilotDescription, Session
+from repro.soma import deploy_soma
+
+
+def boot(nodes=2, seed=1, soma=None, rack_size=None):
+    """Boot a session + pilot (+ SOMA stack), one spare node for spill."""
+    session = Session(cluster_spec=summit_like(nodes + 1), seed=seed)
+    if rack_size is not None:
+        session.cluster.network.rack_size = rack_size
+    client = Client(session)
+    env = session.env
+    box = {}
+
+    def main(env):
+        pilot = yield from client.submit_pilot(
+            PilotDescription(nodes=nodes, agent_nodes=1)
+        )
+        box["pilot"] = pilot
+        if soma is not None:
+            box["deployment"] = yield from deploy_soma(client, pilot, soma)
+
+    env.run(env.process(main(env)))
+    return session, client, box
+
+
+def arm(session, plan: FaultPlan, name: str = "chaos") -> FaultInjector:
+    """Attach and start a fault injector on a booted session."""
+    injector = FaultInjector(session, plan, name=name)
+    injector.start()
+    return injector
+
+
+def trace_signature(session) -> str:
+    """Canonical byte string of the full trace stream."""
+    return "\n".join(
+        f"{rec.time!r}|{rec.category}|{rec.name}|{sorted(rec.data.items())!r}"
+        for rec in session.tracer.records
+    )
+
+
+def metric_signature(deployment) -> str:
+    """Canonical byte string of every SOMA namespace's record stream."""
+    lines = []
+    for namespace in deployment.config.namespaces:
+        store = deployment.store(namespace)
+        for rec in store.records():
+            lines.append(f"{namespace}|{rec.time!r}|{rec.source}|{rec.nbytes!r}")
+    return "\n".join(lines)
+
+
+def client_by_name(deployment, name: str):
+    """The SOMA client of the monitor model called ``name``."""
+    models = list(deployment.hw_monitor_models())
+    if deployment.rp_monitor_model is not None:
+        models.append(deployment.rp_monitor_model)
+    for model in models:
+        if model.client is not None and model.client.name == name:
+            return model.client
+    raise LookupError(name)

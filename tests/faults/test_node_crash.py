@@ -1,0 +1,89 @@
+"""Chaos scenario: a compute node crashes mid-task.
+
+The task resident on the dead node must fail cleanly, every other task
+must finish, the monitoring stack must survive, and the whole run must
+replay bit-identically under the same (seed, plan) pair.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.rp import FixedDurationModel, TaskDescription, TaskState
+from repro.soma import HARDWARE, SomaConfig, WORKFLOW
+
+from tests.faults.harness import arm, boot, trace_signature
+
+pytestmark = pytest.mark.slow
+
+SOMA = SomaConfig(
+    namespaces=(WORKFLOW, HARDWARE),
+    monitors=("proc",),
+    monitoring_frequency=5.0,
+)
+
+
+def _run(seed):
+    session, client, box = boot(nodes=2, seed=seed, soma=SOMA)
+    env = session.env
+    victim = box["pilot"].compute_nodes[0]
+    crash_at = env.now + 5.0
+    injector = arm(
+        session, FaultPlan().node_crash(at=crash_at, node=victim.name)
+    )
+
+    def main(env):
+        tasks = client.submit_tasks(
+            [
+                TaskDescription(
+                    name="a", model=FixedDurationModel(30.0), ranks=40
+                ),
+                TaskDescription(
+                    name="b", model=FixedDurationModel(30.0), ranks=40
+                ),
+            ]
+        )
+        yield from client.wait_tasks(tasks)
+        yield env.timeout(10.0)
+        return tasks
+
+    tasks = env.run(env.process(main(env)))
+    client.close()
+    return session, box, injector, victim, tasks
+
+
+def test_crash_fails_resident_task_only():
+    session, box, injector, victim, tasks = _run(seed=11)
+    states = sorted(t.state for t in tasks)
+    assert states == [TaskState.DONE, TaskState.FAILED]
+    assert not victim.alive
+    # The dead task's failure is a NodeFailure surfaced through the
+    # executor, not a hang or a crash of the run.
+    failed = next(t for t in tasks if t.state == TaskState.FAILED)
+    assert "failed" in repr(failed.exception) or failed.exception is not None
+    # The injector fired exactly once, at the planned instant.
+    assert [event.kind for _t, event in injector.applied] == ["node_crash"]
+    assert session.tracer.count("fault.inject") == 1
+
+
+def test_crash_leaves_monitoring_on_surviving_nodes_alive():
+    session, box, injector, victim, tasks = _run(seed=11)
+    deployment = box["deployment"]
+    survivors = [
+        m
+        for m in deployment.hw_monitor_models()
+        if m.client is not None and m.client.name != f"hwmon@{victim.name}"
+    ]
+    assert survivors
+    # Surviving monitors kept publishing after the crash.
+    crash_time = injector.applied[0][0]
+    store = deployment.store(HARDWARE)
+    after = [r for r in store.records() if r.time > crash_time + 5.0]
+    assert any(
+        r.source == m.client.name for m in survivors for r in after
+    )
+
+
+def test_crash_scenario_is_deterministic():
+    session_a, *_ = _run(seed=23)
+    session_b, *_ = _run(seed=23)
+    assert trace_signature(session_a) == trace_signature(session_b)

@@ -1,0 +1,114 @@
+"""Chaos scenario: a rack partition separates monitors from the service.
+
+With ``rack_size=1`` every node is its own rack, so severing the pair
+(compute node, service node) blocks the hardware monitor's publishes.
+Under its retry policy the client retries, gives up, drops samples and
+opens an observability gap; when the partition heals, publishing
+resumes and the gap is recorded as a ``soma.gap`` trace record.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.rp import FixedDurationModel, TaskDescription, TaskState
+from repro.soma import HARDWARE, SomaConfig
+
+from tests.faults.harness import arm, boot, client_by_name, trace_signature
+
+pytestmark = pytest.mark.slow
+
+RETRY = RetryPolicy(
+    max_attempts=2,
+    base_delay=0.5,
+    multiplier=2.0,
+    max_delay=2.0,
+    jitter=0.1,
+    deadline=6.0,
+    timeout=2.0,
+)
+
+SOMA = SomaConfig(
+    namespaces=(HARDWARE,),
+    monitors=("proc",),
+    monitoring_frequency=5.0,
+    retry=RETRY,
+)
+
+
+def _run(seed):
+    session, client, box = boot(nodes=2, seed=seed, soma=SOMA, rack_size=1)
+    env = session.env
+    network = session.cluster.network
+    deployment = box["deployment"]
+    victim = box["pilot"].compute_nodes[0]
+    service_node = deployment.service_model.servers[HARDWARE].node
+    racks = (network.rack_of(victim), network.rack_of(service_node))
+    assert racks[0] != racks[1]
+    t0 = env.now
+    injector = arm(
+        session,
+        FaultPlan().partition(at=t0 + 6.0, racks=racks, duration=20.0),
+    )
+
+    def main(env):
+        tasks = client.submit_tasks(
+            [TaskDescription(name="work", model=FixedDurationModel(40.0))]
+        )
+        yield from client.wait_tasks(tasks)
+        yield env.timeout(20.0)
+        return tasks
+
+    tasks = env.run(env.process(main(env)))
+    client.close()
+    return session, box, injector, victim, tasks
+
+
+def test_partition_degrades_then_heals():
+    session, box, injector, victim, tasks = _run(seed=5)
+    network = session.cluster.network
+    deployment = box["deployment"]
+    hwmon = client_by_name(deployment, f"hwmon@{victim.name}")
+
+    # The workflow itself is untouched: intra-node compute has no
+    # endpoints on the severed path.
+    assert all(t.state == TaskState.DONE for t in tasks)
+
+    # The monitor hit the partition: transfers parked, attempts timed
+    # out, samples were dropped, a gap opened and then closed on heal.
+    assert network.blocked_transfers > 0
+    assert not network.partitioned  # healed by the plan
+    assert hwmon.dropped > 0
+    assert hwmon.retries > 0
+    assert hwmon.gaps >= 1
+    assert hwmon.gap_seconds > 0
+    assert not hwmon.open_gaps
+    gap_records = session.tracer.select("soma.gap")
+    assert any(r.data["source"] == hwmon.name for r in gap_records)
+
+    # Publishing resumed after the heal.
+    heal_time = next(
+        r.time for r in session.tracer.select("fault.restore")
+    )
+    store = deployment.store(HARDWARE)
+    assert any(
+        r.source == hwmon.name and r.time > heal_time
+        for r in store.records()
+    )
+
+
+def test_partition_gap_is_visible_in_published_health():
+    session, box, injector, victim, tasks = _run(seed=5)
+    deployment = box["deployment"]
+    hwmon_name = f"hwmon@{victim.name}"
+    store = deployment.store(HARDWARE)
+    post = [r for r in store.records() if r.source == hwmon_name][-1]
+    health = f"SOMA/health/{hwmon_name}"
+    assert f"{health}/dropped" in post.data
+    assert post.data[f"{health}/dropped"] > 0
+    assert post.data[f"{health}/gap_seconds"] > 0
+
+
+def test_partition_scenario_is_deterministic():
+    session_a, *_ = _run(seed=17)
+    session_b, *_ = _run(seed=17)
+    assert trace_signature(session_a) == trace_signature(session_b)

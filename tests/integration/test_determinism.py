@@ -12,6 +12,11 @@ from repro.experiments.ddmd_exps import (
     pipeline_durations,
     run_ddmd_experiment,
 )
+from repro.faults import FaultPlan, RetryPolicy
+from repro.rp import FixedDurationModel, TaskDescription
+from repro.soma import HARDWARE, SomaConfig, WORKFLOW
+
+from tests.faults.harness import arm, boot, metric_signature, trace_signature
 
 
 def test_openfoam_run_is_deterministic():
@@ -61,3 +66,72 @@ def test_paired_noise_across_configurations():
     assert na.keys() == nb.keys()
     for name in na:
         assert na[name] == pytest.approx(nb[name])
+
+
+def _chaos_run(seed):
+    """A run with every fault class active at once."""
+    soma = SomaConfig(
+        namespaces=(WORKFLOW, HARDWARE),
+        monitors=("proc", "rp"),
+        monitoring_frequency=4.0,
+        retry=RetryPolicy(
+            max_attempts=3,
+            base_delay=0.2,
+            jitter=0.2,
+            deadline=6.0,
+            timeout=2.0,
+        ),
+    )
+    session, client, box = boot(nodes=2, seed=seed, soma=soma, rack_size=1)
+    env = session.env
+    network = session.cluster.network
+    t0 = env.now
+    victim = box["pilot"].compute_nodes[0]
+    other = box["pilot"].compute_nodes[1]
+    service_node = box["deployment"].service_model.servers[HARDWARE].node
+    plan = (
+        FaultPlan()
+        .node_slowdown(at=t0 + 4.0, node=other.name, factor=0.5, duration=10.0)
+        .rpc_drop(at=t0 + 5.0, probability=0.2, duration=15.0, stall=1.0)
+        .partition(
+            at=t0 + 8.0,
+            racks=(network.rack_of(victim), network.rack_of(service_node)),
+            duration=8.0,
+        )
+        .service_outage(at=t0 + 22.0, duration=6.0)
+        .profile_outage(at=t0 + 24.0, duration=4.0)
+        .node_crash(at=t0 + 30.0, node=victim.name)
+    )
+    arm(session, plan)
+
+    def main(env):
+        tasks = client.submit_tasks(
+            [
+                TaskDescription(
+                    name="x", model=FixedDurationModel(40.0), ranks=40
+                ),
+                TaskDescription(
+                    name="y", model=FixedDurationModel(40.0), ranks=40
+                ),
+            ]
+        )
+        yield from client.wait_tasks(tasks)
+        yield env.timeout(15.0)
+
+    env.run(env.process(main(env)))
+    client.close()
+    return session, box["deployment"]
+
+
+def test_chaos_run_is_deterministic():
+    """Same seed + same FaultPlan => identical traces and metric streams."""
+    sa, da = _chaos_run(seed=77)
+    sb, db = _chaos_run(seed=77)
+    assert trace_signature(sa) == trace_signature(sb)
+    assert metric_signature(da) == metric_signature(db)
+
+
+def test_chaos_seed_changes_the_run():
+    sa, _ = _chaos_run(seed=77)
+    sb, _ = _chaos_run(seed=78)
+    assert trace_signature(sa) != trace_signature(sb)

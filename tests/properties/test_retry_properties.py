@@ -1,0 +1,160 @@
+"""Property-based tests for :class:`repro.faults.RetryPolicy`.
+
+The retry layer's contract (attempt bound, deadline bound, monotone
+capped backoff, seed-stable schedules) is what the whole degradation
+story rests on, so it gets pinned down over the full parameter space.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import RetryExhausted, RetryPolicy
+from repro.messaging import ServiceUnavailable
+from repro.sim import Environment
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=8),
+    base_delay=st.floats(min_value=0.0, max_value=5.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=0.0, max_value=30.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    deadline=st.one_of(
+        st.none(), st.floats(min_value=0.5, max_value=120.0)
+    ),
+    timeout=st.one_of(st.none(), st.floats(min_value=0.1, max_value=10.0)),
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(policy=policies, seed=seeds)
+@settings(max_examples=200, deadline=None)
+def test_schedule_shape_and_monotonicity(policy, seed):
+    rng = np.random.default_rng(seed)
+    schedule = policy.schedule(rng)
+    assert len(schedule) == policy.max_attempts - 1
+    for delay in schedule:
+        assert 0.0 <= delay <= policy.max_delay or delay == pytest.approx(
+            policy.max_delay
+        )
+    # Monotone non-decreasing regardless of jitter draws.
+    assert all(a <= b for a, b in zip(schedule, schedule[1:]))
+
+
+@given(policy=policies, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_identical_seeds_identical_schedules(policy, seed):
+    a = policy.schedule(np.random.default_rng(seed))
+    b = policy.schedule(np.random.default_rng(seed))
+    assert a == b
+
+
+@given(policy=policies)
+@settings(max_examples=100, deadline=None)
+def test_always_failing_call_respects_attempt_bound(policy):
+    env = Environment()
+    attempts = []
+
+    def attempt():
+        attempts.append(env.now)
+        raise ServiceUnavailable("always down")
+        yield  # pragma: no cover - generator marker
+
+    def driver():
+        yield from policy.execute(env, attempt)
+
+    proc = env.process(driver())
+    with pytest.raises(RetryExhausted) as err:
+        env.run(proc)
+    assert 1 <= len(attempts) <= policy.max_attempts
+    assert err.value.attempts == len(attempts)
+    assert isinstance(err.value.last_error, ServiceUnavailable)
+
+
+@given(policy=policies, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_elapsed_time_never_exceeds_deadline(policy, seed):
+    env = Environment()
+    rng = np.random.default_rng(seed)
+
+    def attempt():
+        yield env.timeout(0.05)
+        raise ServiceUnavailable("always down")
+
+    def driver():
+        yield from policy.execute(env, attempt, rng=rng)
+
+    proc = env.process(driver())
+    with pytest.raises(RetryExhausted):
+        env.run(proc)
+    if policy.deadline is not None:
+        # Backoff sleeps are clipped to the remaining budget, and the
+        # final attempt is bounded by the per-attempt timeout.
+        slack = policy.timeout if policy.timeout is not None else 0.05
+        assert env.now <= policy.deadline + slack + 1e-9
+
+
+@given(policy=policies, seed=seeds)
+@settings(max_examples=60, deadline=None)
+def test_retry_timeline_is_seed_stable(policy, seed):
+    def timeline():
+        env = Environment()
+        rng = np.random.default_rng(seed)
+        times = []
+
+        def attempt():
+            times.append(env.now)
+            yield env.timeout(0.01)
+            raise ServiceUnavailable("always down")
+
+        def driver():
+            yield from policy.execute(env, attempt, rng=rng)
+
+        proc = env.process(driver())
+        with pytest.raises(RetryExhausted):
+            env.run(proc)
+        return times
+
+    assert timeline() == timeline()
+
+
+def test_successful_call_draws_no_rng():
+    """The happy path must not consume jitter randomness."""
+    env = Environment()
+    policy = RetryPolicy(jitter=0.5)
+    rng = np.random.default_rng(7)
+    before = rng.bit_generator.state["state"]["state"]
+
+    def attempt():
+        yield env.timeout(0.1)
+        return "ok"
+
+    def driver():
+        result = yield from policy.execute(env, attempt, rng=rng)
+        return result
+
+    proc = env.process(driver())
+    assert env.run(proc) == "ok"
+    assert rng.bit_generator.state["state"]["state"] == before
+
+
+def test_non_transient_errors_propagate_immediately():
+    env = Environment()
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1)
+    calls = []
+
+    def attempt():
+        calls.append(env.now)
+        raise ValueError("permanent")
+        yield  # pragma: no cover - generator marker
+
+    def driver():
+        yield from policy.execute(env, attempt)
+
+    proc = env.process(driver())
+    with pytest.raises(ValueError):
+        env.run(proc)
+    assert len(calls) == 1
