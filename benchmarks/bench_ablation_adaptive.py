@@ -10,7 +10,6 @@ Two ablations of decisions DESIGN.md calls out:
    first-fit — for a contention-heavy bag of tasks.
 """
 
-import numpy as np
 from conftest import cached
 
 from repro.adaptive import AdaptiveController, RankTuningPolicy

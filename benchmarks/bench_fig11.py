@@ -16,10 +16,9 @@ By default this bench runs m = 64 and 128; set REPRO_FULL_SCALE=1 to
 add 256 and 512 (several minutes of simulation).
 """
 
-import numpy as np
 from conftest import FULL_SCALE, scaling_b_run
 
-from repro.analysis import compare_runtimes, render_boxes, render_table
+from repro.analysis import compare_runtimes, fmt, fmt_percent, render_boxes, render_table
 from repro.experiments import pipeline_durations
 
 SCALES = (64, 128, 256, 512) if FULL_SCALE else (64, 128)
@@ -62,9 +61,9 @@ def test_fig11_scaling_b(benchmark, report):
                 [
                     pipelines,
                     result.config,
-                    f"{result.overhead_percent:+.2f}%",
-                    f"{result.config_mean:.1f}",
-                    f"{result.baseline_mean:.1f}",
+                    fmt_percent(result.overhead_percent),
+                    fmt(result.config_mean, ".1f"),
+                    fmt(result.baseline_mean, ".1f"),
                 ]
             )
     sections.append(

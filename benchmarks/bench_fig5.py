@@ -6,7 +6,6 @@ large portion of time for each rank is spent in MPI_Recv() and
 MPI_Waitall()".
 """
 
-import numpy as np
 from conftest import openfoam_tuning_run
 
 from repro.analysis import render_table

@@ -1,0 +1,268 @@
+"""Kernel hot-path microbenchmarks -> BENCH_perf.json.
+
+Five benches, smallest to largest:
+
+* ``store_churn`` — 10k blocked getters drained by 10k puts, new
+  deque-backed Store vs an in-tree replica of the legacy list-based
+  dispatch (reports the speedup the O(1) rewrite buys);
+* ``resource_contention`` — thousands of processes serialized through a
+  small Resource;
+* ``batch_grant`` — a long stream of batch jobs granted and released;
+* ``rpc_fanout`` — concurrent clients fanning calls into one RPC server;
+* ``fig4_e2e`` — the full OpenFOAM rank-tuning experiment behind the
+  paper's Fig 4, end to end, with the kernel counters of a standalone
+  probe environment alongside.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py --quick --out BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import time
+
+from perf_common import (
+    LegacyFilterStore,
+    LegacyStore,
+    best_of,
+    timed,
+    write_results,
+)
+
+from repro.platform import Cluster, JobRequest, summit_like
+from repro.platform.batch import BatchSystem
+from repro.messaging import RPCClient, RPCServer
+from repro.sim import Environment, FilterStore, Resource, Store
+
+
+def store_churn(n: int) -> dict:
+    """Churn through stores carrying an n-deep waiter backlog.
+
+    Two phases, each measured against an in-tree replica of the legacy
+    list-based dispatch:
+
+    * ``fifo``   — n blocked getters drained by n puts (deque popleft
+      vs ``list.pop(0)``);
+    * ``filter`` — n blocked filter-waiters arrive over a buffer of
+      tagged items, which are then drained by exact-match gets.  The
+      legacy dispatch rescanned every waiter against every item on
+      every operation (O(waiters x items) per op); the incremental
+      dispatch vets each waiter and each item exactly once.
+
+    The headline ``speedup`` is combined wall time, legacy over new.
+    """
+
+    def run_fifo(store_cls):
+        env = Environment()
+        store = store_cls(env)
+        gets = [store.get() for _ in range(n)]
+        for i in range(n):
+            store.put(i)
+        env.run()
+        assert gets[-1].value == n - 1
+        return env
+
+    tags = max(8, n // 250)
+
+    def never(item):
+        return False
+
+    def run_filter(store_cls):
+        env = Environment()
+        store = store_cls(env)
+        # Timed region: the churn itself — n waiter arrivals, then
+        # tagged put/get rounds threading items past the backlog.  The
+        # event drain afterwards does identical work on both sides.
+        start = time.perf_counter()
+        blocked = [store.get(never) for _ in range(n)]
+        for i in range(tags):
+            store.put(i)
+            got = store.get(lambda item, i=i: item == i)
+            assert got.triggered and got.value == i
+        elapsed = time.perf_counter() - start
+        env.run()
+        assert not any(b.triggered for b in blocked)
+        return elapsed
+
+    fifo_new, env = best_of(lambda: run_fifo(Store))
+    fifo_legacy, _ = best_of(lambda: run_fifo(LegacyStore))
+    repeats = 1 if n >= 10_000 else 3  # legacy filter churn is O(n^2)
+    filter_new = min(run_filter(FilterStore) for _ in range(repeats))
+    filter_legacy = min(run_filter(LegacyFilterStore) for _ in range(repeats))
+
+    seconds = fifo_new + filter_new
+    legacy_seconds = fifo_legacy + filter_legacy
+    return {
+        "waiters": n,
+        "seconds": seconds,
+        "legacy_seconds": legacy_seconds,
+        "speedup": legacy_seconds / seconds if seconds > 0 else None,
+        "fifo": {
+            "seconds": fifo_new,
+            "legacy_seconds": fifo_legacy,
+            "speedup": fifo_legacy / fifo_new if fifo_new > 0 else None,
+        },
+        "filter": {
+            "tags": tags,
+            "seconds": filter_new,
+            "legacy_seconds": filter_legacy,
+            "speedup": filter_legacy / filter_new if filter_new > 0 else None,
+        },
+        "counters": env.kernel_counters(),
+    }
+
+
+def resource_contention(n: int, capacity: int) -> dict:
+    """n processes contending for a capacity-bounded resource."""
+
+    def run():
+        env = Environment()
+        resource = Resource(env, capacity=capacity)
+
+        def proc(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        for _ in range(n):
+            env.process(proc(env))
+        env.run()
+        return env
+
+    seconds, env = best_of(run)
+    return {
+        "processes": n,
+        "capacity": capacity,
+        "seconds": seconds,
+        "counters": env.kernel_counters(),
+    }
+
+
+def batch_grant(jobs: int, nodes: int) -> dict:
+    """A stream of batch jobs granted and released through the queue."""
+
+    def run():
+        env = Environment()
+        cluster = Cluster(env, summit_like(nodes))
+        batch = BatchSystem(env, cluster.nodes)
+
+        def job(env, size, hold):
+            alloc = yield from batch.submit(
+                JobRequest(nodes=size, walltime=1e9)
+            )
+            yield env.timeout(hold)
+            batch.release(alloc)
+
+        for i in range(jobs):
+            size = 1 + (i % (nodes // 2))
+            env.process(job(env, size, 1.0 + (i % 7)))
+        env.run()
+        assert batch.completed == jobs
+        return env
+
+    seconds, env = best_of(run)
+    return {
+        "jobs": jobs,
+        "nodes": nodes,
+        "seconds": seconds,
+        "counters": env.kernel_counters(),
+    }
+
+
+def rpc_fanout(calls: int, ranks: int) -> dict:
+    """Concurrent clients fanning requests into one RPC server."""
+
+    def run():
+        env = Environment()
+        cluster = Cluster(env, summit_like(2))
+        server = RPCServer(
+            env, cluster.network, None, name="svc", ranks=ranks
+        )
+        server.register("echo", lambda req: req.body)
+        client = RPCClient(env, cluster.network, "bench-client")
+
+        def caller(env, i):
+            yield from client.call(
+                server, "echo", body=i, payload_bytes=128.0
+            )
+
+        for i in range(calls):
+            env.process(caller(env, i))
+        env.run()
+        assert client.calls == calls
+        return env
+
+    seconds, env = best_of(run)
+    return {
+        "calls": calls,
+        "ranks": ranks,
+        "seconds": seconds,
+        "counters": env.kernel_counters(),
+    }
+
+
+def fig4_e2e() -> dict:
+    """The paper's Fig 4 workload (OpenFOAM rank tuning), end to end."""
+    from repro.experiments import TUNING, run_openfoam_experiment
+
+    seconds, result = timed(lambda: run_openfoam_experiment(TUNING, seed=33))
+    return {
+        "seconds": seconds,
+        "makespan": result.makespan,
+        "tasks": len(result.tasks),
+    }
+
+
+def run_all(quick: bool = False) -> dict:
+    benches = {
+        "store_churn": store_churn(1_000 if quick else 10_000),
+        "resource_contention": resource_contention(500 if quick else 5_000, 8),
+        "batch_grant": batch_grant(100 if quick else 1_000, 32),
+        "rpc_fanout": rpc_fanout(100 if quick else 1_000, 8),
+        "fig4_e2e": fig4_e2e(),
+    }
+    return {
+        "schema": 1,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "benches": benches,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_perf.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scale the microbenches down 10x (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick)
+    write_results(args.out, results)
+
+    churn = results["benches"]["store_churn"]
+    print(f"store_churn      {churn['seconds'] * 1e3:9.1f} ms   "
+          f"(legacy {churn['legacy_seconds'] * 1e3:.1f} ms, "
+          f"speedup {churn['speedup']:.1f}x)")
+    for name in ("resource_contention", "batch_grant", "rpc_fanout",
+                 "fig4_e2e"):
+        bench = results["benches"][name]
+        print(f"{name:16s} {bench['seconds'] * 1e3:9.1f} ms")
+    print(f"results written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

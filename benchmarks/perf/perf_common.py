@@ -1,0 +1,138 @@
+"""Shared infrastructure for the kernel microbenchmarks.
+
+The perf suite answers two questions the figure benches cannot:
+
+* did the O(1) queue work actually pay off (measured against a
+  faithful in-tree replica of the legacy list-based dispatch), and
+* are the kernel counters (events scheduled, peak heap, waiter-queue
+  high-water mark) drifting between commits.
+
+Results are written to ``BENCH_perf.json`` so CI can archive one file
+per commit and regressions show up as a diff.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable
+
+from repro.sim.core import NORMAL, Environment
+from repro.sim.stores import FilterStoreGet, Store
+
+
+def timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``fn`` once, returning (wall seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 3) -> tuple[float, Any]:
+    """Best wall time over ``repeats`` runs (noise floor for CI boxes)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        seconds, result = timed(fn)
+        best = min(best, seconds)
+    return best, result
+
+
+class LegacyStore(Store):
+    """Replica of the pre-deque Store: list items, ``pop(0)`` dispatch.
+
+    Kept only as the baseline side of the store-churn microbenchmark,
+    so the measured speedup is against the real legacy algorithm rather
+    than a guess.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self._put_waiters = []  # type: ignore[assignment]
+        self._get_waiters = []  # type: ignore[assignment]
+
+    def _new_items(self) -> Any:
+        return []
+
+    def _extract(self) -> Any:
+        return self.items.pop(0)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters:
+                put = self._put_waiters[0]
+                if put.triggered or put._cancelled:
+                    self._put_waiters.pop(0)
+                    continue
+                if len(self.items) < self._capacity:
+                    self.items.append(put.item)
+                    put.succeed(priority=NORMAL)
+                    self._put_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+            while self._get_waiters:
+                get = self._get_waiters[0]
+                if get.triggered or get._cancelled:
+                    self._get_waiters.pop(0)
+                    continue
+                if self.items:
+                    get.succeed(self.items.pop(0), priority=NORMAL)
+                    self._get_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+
+
+class LegacyFilterStore(LegacyStore):
+    """Replica of the pre-rewrite FilterStore dispatch.
+
+    Every store operation rescanned *every* blocked get-waiter against
+    *every* buffered item and rebuilt the waiter list, so a deep waiter
+    backlog made each operation O(waiters x items).  The store-churn
+    microbenchmark measures the current incremental dispatch against
+    this.
+    """
+
+    def get(self, predicate: Callable[[Any], bool] = lambda item: True):  # type: ignore[override]
+        return FilterStoreGet(self, predicate)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters:
+                put = self._put_waiters[0]
+                if put.triggered or put._cancelled:
+                    self._put_waiters.pop(0)
+                    continue
+                if len(self.items) < self._capacity:
+                    self.items.append(put.item)
+                    put.succeed(priority=NORMAL)
+                    self._put_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+            still_waiting = []
+            for get in self._get_waiters:
+                if get.triggered or get._cancelled:
+                    continue
+                matched = False
+                for idx, item in enumerate(self.items):
+                    if get.predicate(item):
+                        del self.items[idx]
+                        get.succeed(item, priority=NORMAL)
+                        matched = True
+                        progress = True
+                        break
+                if not matched:
+                    still_waiting.append(get)
+            self._get_waiters = still_waiting
+
+
+def write_results(path: str, results: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")

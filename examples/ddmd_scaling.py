@@ -15,9 +15,8 @@ bigger (the paper uses 64..512):
 
 import sys
 
-import numpy as np
 
-from repro.analysis import compare_runtimes, render_boxes
+from repro.analysis import compare_runtimes, fmt, fmt_percent, render_boxes
 from repro.experiments import SCALING_B, pipeline_durations, run_ddmd_experiment
 from repro.soma import HARDWARE
 
@@ -60,9 +59,9 @@ def main(pipelines: int = 16) -> None:
     for result in compare_runtimes(baseline, durations):
         direction = "speedup" if result.is_speedup else "overhead"
         print(
-            f"  {result.config:20s} {result.overhead_percent:+6.2f}% "
-            f"({direction}; mean {result.config_mean:.1f}s vs "
-            f"{result.baseline_mean:.1f}s)"
+            f"  {result.config:20s} {fmt_percent(result.overhead_percent, '+6.2f'):>7s} "
+            f"({direction}; mean {fmt(result.config_mean, '.1f')}s vs "
+            f"{fmt(result.baseline_mean, '.1f')}s)"
         )
 
 

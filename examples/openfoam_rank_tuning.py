@@ -22,7 +22,7 @@ Run:  python examples/openfoam_rank_tuning.py
 from repro import Client, PilotDescription, Session
 from repro.adaptive import AdaptiveController, RankTuningPolicy
 from repro.platform import summit_like
-from repro.soma import SomaConfig, WORKFLOW, HARDWARE, deploy_soma, no_soma
+from repro.soma import SomaConfig, WORKFLOW, HARDWARE, deploy_soma
 from repro.workloads import OpenFOAMParams, openfoam_task_description
 
 RANK_CONFIGS = (20, 41, 82, 164)

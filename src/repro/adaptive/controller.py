@@ -9,9 +9,8 @@ utilization-aware placement into the agent scheduler.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING
 
-from ..sim.core import Event, Interrupt
 from ..soma.analysis import free_resource_estimate
 from ..soma.namespaces import HARDWARE
 from .policies import (

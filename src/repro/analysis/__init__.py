@@ -8,7 +8,14 @@ from .critical_path import (
     pipeline_critical_path,
 )
 from .overhead import OverheadResult, compare_runtimes, makespan_overhead
-from .report import render_boxes, render_series, render_table, sparkline
+from .report import (
+    fmt,
+    fmt_percent,
+    render_boxes,
+    render_series,
+    render_table,
+    sparkline,
+)
 from .stats import Summary, group_by, percent_change, summarize
 from .timeline import (
     BOOTSTRAP,
@@ -34,6 +41,8 @@ __all__ = [
     "Summary",
     "build_timeline",
     "compare_runtimes",
+    "fmt",
+    "fmt_percent",
     "group_by",
     "makespan_overhead",
     "percent_change",

@@ -7,11 +7,39 @@ like the paper's evaluation section.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
-__all__ = ["render_table", "render_series", "render_boxes", "sparkline"]
+__all__ = [
+    "fmt",
+    "fmt_percent",
+    "render_table",
+    "render_series",
+    "render_boxes",
+    "sparkline",
+]
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def fmt(value: float, spec: str = ".2f", na: str = "n/a") -> str:
+    """Format a number, rendering NaN as ``na``.
+
+    NaN is what the stats helpers return for undefined quantities (the
+    order statistics of an empty sample, a percent change against a
+    zero baseline); every table/figure renderer funnels floats through
+    here so those show up as ``n/a`` instead of ``nan`` or a fake 0.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return na
+    return format(value, spec)
+
+
+def fmt_percent(value: float, spec: str = "+.2f", na: str = "n/a") -> str:
+    """Format a percentage with sign, rendering NaN as ``na`` (no %)."""
+    if isinstance(value, float) and math.isnan(value):
+        return na
+    return format(value, spec) + "%"
 
 
 def render_table(
@@ -78,12 +106,12 @@ def render_boxes(
             [
                 name,
                 s.count,
-                f"{s.minimum:.1f}",
-                f"{s.p25:.1f}",
-                f"{s.median:.1f}",
-                f"{s.p75:.1f}",
-                f"{s.maximum:.1f}",
-                f"{s.mean:.1f}",
+                fmt(s.minimum, ".1f"),
+                fmt(s.p25, ".1f"),
+                fmt(s.median, ".1f"),
+                fmt(s.p75, ".1f"),
+                fmt(s.maximum, ".1f"),
+                fmt(s.mean, ".1f"),
             ]
         )
     return render_table(

@@ -7,7 +7,7 @@ submission, shutdown — into plain functions returning
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 from ..platform.specs import ClusterSpec, summit_like

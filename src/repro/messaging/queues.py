@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from ..sim.core import Environment, Event
+from ..sim.core import Environment, Event, Timeout
 from ..sim.stores import Store
 from .protocol import Message
 
@@ -35,13 +35,11 @@ class ComponentQueue:
         """Fire-and-forget enqueue (arrives ``latency`` later)."""
         msg = Message(topic=topic, body=body, sender=sender, sent_at=self.env.now)
         self.enqueued += 1
-
-        def deliver() -> Generator[Event, None, None]:
-            if self.latency > 0:
-                yield self.env.timeout(self.latency)
-            yield self._store.put(msg)
-
-        self.env.process(deliver(), name=f"q-{self.name}-put")
+        # The backing store is unbounded, so delivery cannot block: a
+        # plain timer callback replaces a full delivery process (two
+        # heap events per message instead of four, no generator).
+        timer = Timeout(self.env, self.latency)
+        timer.callbacks.append(lambda _event, msg=msg: self._store.put(msg))
 
     def get(self) -> Generator[Event, None, Message]:
         """Wait for the next message (process generator)."""

@@ -24,7 +24,6 @@ from typing import TYPE_CHECKING, Any, Callable, Generator
 from ..sim.core import Environment, Event
 from ..sim.events import TimeoutExpired, with_timeout
 from ..sim.resources import Resource
-from ..sim.stores import Store
 from ..platform.network import Network
 from ..platform.node import Node, NodeFailure
 from .protocol import (

@@ -2,14 +2,17 @@
 
 RADICAL-Pilot submits one *pilot job* through PSI/J to the platform's
 batch scheduler (Fig 1, step 1); once the job starts, the pilot owns a
-set of whole nodes for its walltime.  We model a FIFO backfilling-free
-queue — sufficient because the paper's experiments each run in a single
-allocation.
+set of whole nodes for its walltime.  We model a FIFO queue — strict
+(backfilling-free) by default, sufficient because the paper's
+experiments each run in a single allocation; ``backfill=True`` opts in
+to a simple backfilling pass so a later request that fits the free pool
+is granted even while the queue head waits.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Generator
 
@@ -63,15 +66,24 @@ class JobAllocation:
 
 
 class BatchSystem:
-    """FIFO allocation of whole nodes to jobs."""
+    """FIFO allocation of whole nodes to jobs.
 
-    def __init__(self, env: Environment, nodes: list[Node]) -> None:
+    With ``backfill=True``, requests behind a blocked head that fit the
+    free pool are granted out of order (relative arrival order among the
+    backfilled jobs is preserved; the head keeps its place).
+    """
+
+    def __init__(
+        self, env: Environment, nodes: list[Node], backfill: bool = False
+    ) -> None:
         self.env = env
         self._nodes = nodes
-        self._free: list[Node] = list(nodes)
-        self._pending: list[tuple[JobRequest, Event]] = []
+        self._free: deque[Node] = deque(nodes)
+        self._pending: deque[tuple[JobRequest, Event]] = deque()
+        self.backfill = backfill
         self.submitted = 0
         self.completed = 0
+        self.backfilled = 0
 
     @property
     def free_nodes(self) -> int:
@@ -111,12 +123,32 @@ class BatchSystem:
     # -- internals ------------------------------------------------------
 
     def _try_grant(self) -> None:
-        # Strict FIFO: the head of the queue blocks everyone behind it.
-        while self._pending:
-            request, granted = self._pending[0]
+        # FIFO head first: grant as long as the head of the queue fits.
+        pending = self._pending
+        while pending:
+            request, granted = pending[0]
             if len(self._free) < request.nodes:
-                return
-            self._pending.pop(0)
-            nodes = [self._free.pop(0) for _ in range(request.nodes)]
-            allocation = JobAllocation(self.env, request, nodes)
-            granted.succeed(allocation)
+                break
+            pending.popleft()
+            self._grant(request, granted)
+        if not self.backfill or not pending or not self._free:
+            return
+        # Backfill pass: grant any later request that fits what is left,
+        # keeping the relative order of everything that stays queued.
+        remaining: deque[tuple[JobRequest, Event]] = deque()
+        while pending:
+            request, granted = pending.popleft()
+            # The first entry is always the non-fitting head, so every
+            # grant here jumps at least one queued job.
+            if len(self._free) >= request.nodes:
+                self._grant(request, granted)
+                self.backfilled += 1
+            else:
+                remaining.append((request, granted))
+        self._pending = remaining
+
+    def _grant(self, request: JobRequest, granted: Event) -> None:
+        free = self._free
+        nodes = [free.popleft() for _ in range(request.nodes)]
+        allocation = JobAllocation(self.env, request, nodes)
+        granted.succeed(allocation)

@@ -16,6 +16,15 @@ Two sharing disciplines are provided:
   activity's memory intensity and ``D`` the total relative bandwidth
   demand on the domain (compute nodes).  This reproduces the classic
   roofline-style slowdown of co-scheduled memory-bound ranks.
+
+Cost model: a membership change settles and re-rates every co-resident
+activity — that part is inherent to fair sharing — but the aggregate
+terms (total weight, total demand) are computed once per change instead
+of once per activity, and the pool re-arms a *single* tombstoned
+completion timer at the earliest ETA instead of spawning one timer
+process per activity.  A change therefore costs O(n) arithmetic and
+O(log n) heap work, where the previous implementation cost O(n^2)
+arithmetic plus n process spawns.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import itertools
 import math
 from typing import Any
 
-from ..sim.core import Environment, Event
+from ..sim.core import Environment, Event, Timeout
 
 __all__ = ["Activity", "RatePool", "FairShareChannel", "ContentionDomain"]
 
@@ -54,7 +63,6 @@ class Activity:
         "started_at",
         "finished_at",
         "_last_update",
-        "_generation",
         "tag",
         "payload",
         "uid",
@@ -88,7 +96,6 @@ class Activity:
         self.started_at = pool.env.now
         self.finished_at: float | None = None
         self._last_update = pool.env.now
-        self._generation = 0
         self.tag = tag
         self.payload = payload
         #: Callbacks invoked exactly once when the activity ends for
@@ -124,14 +131,28 @@ class RatePool:
 
     def __init__(self, env: Environment) -> None:
         self.env = env
-        self.active: list[Activity] = []
+        #: Insertion-ordered set of in-flight activities (dict keys).
+        self._active: dict[Activity, None] = {}
         #: Cumulative work delivered by this pool (for accounting).
         self.delivered = 0.0
         #: Global rate multiplier (fault injection: a slowed node or a
         #: degraded link runs every activity at a fraction of nominal).
         self.speed_factor = 1.0
+        #: Running aggregates, maintained incrementally on membership
+        #: change and recomputed exactly at every reschedule.
+        self._total_weight = 0.0
+        self._total_demand = 0.0
+        #: The pool's single pending completion timer, if any.
+        self._timer: Timeout | None = None
+        #: Number of rate recomputations (perf observability).
+        self.reschedules = 0
 
     # -- public API -----------------------------------------------------
+
+    @property
+    def active(self) -> list["Activity"]:
+        """The in-flight activities, oldest first."""
+        return list(self._active)
 
     def execute(
         self,
@@ -148,7 +169,9 @@ class RatePool:
             self, work, weight, demand, mem_intensity, tag, payload, rate_cap
         )
         self._settle()
-        self.active.append(act)
+        self._active[act] = None
+        self._total_weight += act.weight
+        self._total_demand += act.demand
         if act.remaining <= 0:
             self._finish(act)
         self._reschedule()
@@ -157,7 +180,7 @@ class RatePool:
     @property
     def load(self) -> float:
         """Total demand currently placed on the pool."""
-        return sum(a.demand for a in self.active)
+        return self._total_demand
 
     def set_speed_factor(self, factor: float) -> None:
         """Change the pool-wide rate multiplier, re-pacing in-flight work.
@@ -181,7 +204,7 @@ class RatePool:
     def _settle(self) -> None:
         """Advance every active activity's remaining work to 'now'."""
         now = self.env.now
-        for act in self.active:
+        for act in self._active:
             elapsed = now - act._last_update
             if elapsed > 0 and act.rate > 0:
                 done_work = min(act.remaining, act.rate * elapsed)
@@ -189,67 +212,87 @@ class RatePool:
                 self.delivered += done_work
             act._last_update = now
 
+    def _refresh_aggregates(self) -> None:
+        """Recompute the running sums exactly (kills float drift)."""
+        total_weight = 0.0
+        total_demand = 0.0
+        for act in self._active:
+            total_weight += act.weight
+            total_demand += act.demand
+        self._total_weight = total_weight
+        self._total_demand = total_demand
+
     def _reschedule(self) -> None:
-        """Recompute rates and re-arm each activity's completion timer."""
+        """Recompute all rates once and re-arm the pool's single timer."""
+        self.reschedules += 1
+        self._refresh_aggregates()
+        now = self.env.now
         finished: list[Activity] = []
-        for act in self.active:
+        next_eta = math.inf
+        for act in self._active:
             act.rate = self.rate_of(act)
-            act._generation += 1
             if act.remaining <= 1e-12:
                 finished.append(act)
                 continue
             if act.rate <= 0:
                 continue  # stalled: no timer until conditions change
             eta = act.remaining / act.rate
-            if self.env.now + eta <= self.env.now:
+            if now + eta <= now:
                 # Remaining work is below float resolution of the
                 # clock: it can never make representable progress.
                 finished.append(act)
                 continue
-            self.env.process(
-                self._completion_timer(act, act._generation, eta),
-                name=f"rate-timer-{act.uid}",
-            )
-        for act in finished:
-            self._finish(act)
+            if eta < next_eta:
+                next_eta = eta
         if finished:
+            for act in finished:
+                self._finish(act)
             # Departures change rates for the survivors.
             self._settle()
             self._reschedule()
+        else:
+            self._arm_timer(next_eta)
 
-    def _completion_timer(self, act: Activity, generation: int, eta: float):
-        yield self.env.timeout(eta)
-        if act._generation != generation or act.finished_at is not None:
-            return  # superseded by a rate change
+    def _arm_timer(self, eta: float) -> None:
+        """Point the pool's single completion timer at ``eta`` from now.
+
+        The superseded timer (if any) is tombstoned in the event heap
+        rather than removed — O(1), and the kernel skips it when popped.
+        """
+        if self._timer is not None:
+            self._timer.cancel_scheduled()
+            self._timer = None
+        if eta is not math.inf:
+            timer = Timeout(self.env, eta)
+            timer.callbacks.append(self._on_timer)
+            self._timer = timer
+
+    def _on_timer(self, _event: Event) -> None:
+        """The earliest ETA elapsed: settle, complete, re-arm."""
+        self._timer = None
         self._settle()
-        if act.remaining <= 1e-9 * max(1.0, act.work):
+        finished = [
+            act
+            for act in self._active
+            if act.remaining <= 1e-9 * max(1.0, act.work)
+        ]
+        for act in finished:
             act.remaining = 0.0
             self._finish(act)
-            self._settle()
-            self._reschedule()
-        elif act.rate > 0:
-            # Float drift left a sliver of work; re-arm for the rest —
-            # unless the sliver is below the clock's float resolution,
-            # in which case it is done for all observable purposes.
-            eta = act.remaining / act.rate
-            if self.env.now + eta <= self.env.now:
-                act.remaining = 0.0
-                self._finish(act)
-                self._settle()
-                self._reschedule()
-                return
-            act._generation += 1
-            self.env.process(
-                self._completion_timer(act, act._generation, eta),
-                name=f"rate-timer-{act.uid}",
-            )
+        # Float drift may leave a sliver of work on the nearest
+        # activity; _reschedule re-arms for the remainder (and treats
+        # slivers below clock resolution as done).
+        self._settle()
+        self._reschedule()
 
     def _finish(self, act: Activity) -> None:
         if act.finished_at is not None:
             return
         act.finished_at = self.env.now
-        if act in self.active:
-            self.active.remove(act)
+        if act in self._active:
+            del self._active[act]
+            self._total_weight -= act.weight
+            self._total_demand -= act.demand
         act._run_on_end()
         if not act.done.triggered:
             act.done.succeed(act)
@@ -262,10 +305,12 @@ class RatePool:
         simulation from an unobserved event.
         """
         self._settle()
-        victims = list(self.active)
-        self.active.clear()
+        victims = list(self._active)
+        self._active.clear()
+        self._total_weight = 0.0
+        self._total_demand = 0.0
+        self._arm_timer(math.inf)
         for act in victims:
-            act._generation += 1
             act.finished_at = self.env.now
             act._run_on_end()
             if not act.done.triggered:
@@ -274,9 +319,10 @@ class RatePool:
 
     def _remove(self, act: Activity, fire: bool) -> None:
         self._settle()
-        if act in self.active:
-            self.active.remove(act)
-        act._generation += 1
+        if act in self._active:
+            del self._active[act]
+            self._total_weight -= act.weight
+            self._total_demand -= act.demand
         if act.finished_at is None:
             act.finished_at = self.env.now
         act._run_on_end()
@@ -298,7 +344,7 @@ class FairShareChannel(RatePool):
         self.capacity = capacity
 
     def rate_of(self, act: Activity) -> float:
-        total_weight = sum(a.weight for a in self.active)
+        total_weight = self._total_weight
         if total_weight <= 0:
             return 0.0
         return min(
@@ -308,7 +354,7 @@ class FairShareChannel(RatePool):
 
     def utilization(self) -> float:
         """1.0 while any transfer is in flight, else 0.0."""
-        return 1.0 if self.active else 0.0
+        return 1.0 if self._active else 0.0
 
 
 class ContentionDomain(RatePool):
@@ -334,12 +380,12 @@ class ContentionDomain(RatePool):
         return self.load / self.capacity
 
     def rate_of(self, act: Activity) -> float:
-        overload = max(1.0, self.load / self.capacity)
+        overload = max(1.0, self._total_demand / self.capacity)
         slowdown = (1.0 - act.mem_intensity) + act.mem_intensity * overload
         return self.speed_factor * act.weight / slowdown
 
     def slowdown_of(self, act: Activity) -> float:
-        overload = max(1.0, self.load / self.capacity)
+        overload = max(1.0, self._total_demand / self.capacity)
         return (1.0 - act.mem_intensity) + act.mem_intensity * overload
 
 

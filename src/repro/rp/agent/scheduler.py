@@ -136,7 +136,7 @@ class AgentScheduler:
                         yield from self._admit(arrival.value)
                     elif not arrival.triggered:
                         # Withdraw the unused get so the item is not lost.
-                        self._inbox._get_waiters.remove(arrival)
+                        arrival.cancel()
                     self._wake = None
         except Interrupt:
             return

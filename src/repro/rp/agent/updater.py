@@ -21,7 +21,6 @@ from ...faults.retry import RetryPolicy
 from ...messaging.protocol import RPCError
 from ...sim.core import Event
 from ..profiler import ProfileRecord
-from ..states import TaskState
 from ..task import Task
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

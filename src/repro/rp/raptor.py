@@ -14,13 +14,14 @@ dispatches :class:`FunctionCall` items to the first free worker.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
 from ..sim.core import Event, Interrupt
 from ..sim.stores import Store
 from .description import TaskDescription, TaskMode
-from .model import ExecutionContext, ServiceModel, TaskModel, TaskResult
+from .model import ExecutionContext, ServiceModel, TaskResult
 
 __all__ = ["FunctionCall", "RaptorWorkerModel", "RaptorMaster"]
 
@@ -81,9 +82,9 @@ class RaptorMaster:
     def __init__(self, env) -> None:
         self.env = env
         self._workers: list[RaptorWorkerModel] = []
-        self._free: list[RaptorWorkerModel] = []
+        self._free: deque[RaptorWorkerModel] = deque()
         self._worker_inboxes: dict[int, Store] = {}
-        self._backlog: list[FunctionCall] = []
+        self._backlog: deque[FunctionCall] = deque()
         self.dispatched = 0
         self.completed = 0
 
@@ -132,8 +133,8 @@ class RaptorMaster:
 
     def _pump(self) -> None:
         while self._backlog and self._free:
-            call = self._backlog.pop(0)
-            worker = self._free.pop(0)
+            call = self._backlog.popleft()
+            worker = self._free.popleft()
             self._worker_inboxes[id(worker)].put(call)
             self.dispatched += 1
 

@@ -18,6 +18,14 @@ Design notes
   the exception, if the event failed).
 * Interrupts are delivered by throwing :class:`Interrupt` into the
   generator, mirroring the semantics used by preemptive resources.
+* Scheduled events can be *dismissed* (:meth:`Event.cancel_scheduled`):
+  the heap entry is left in place as a tombstone and skipped when it
+  reaches the head, which is O(1) instead of an O(n) removal plus
+  re-heapify.  Rate-sharing pools re-arm their completion timers this
+  way on every membership change.
+* The environment keeps lightweight kernel counters (events scheduled,
+  peak heap size, tombstones skipped, longest waiter queue) so the perf
+  benchmarks in ``benchmarks/perf/`` can observe regressions.
 """
 
 from __future__ import annotations
@@ -167,6 +175,17 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so it will not crash the run."""
         self._defused = True
+
+    def cancel_scheduled(self) -> None:
+        """Dismiss a scheduled-but-unprocessed event (lazy tombstone).
+
+        The heap entry stays where it is; :meth:`Environment.step` skips
+        it without running callbacks once it reaches the head.  Only
+        valid for events no process waits on (the registered callbacks
+        are dropped) — resources and stores use their own ``cancel``
+        protocols for waited-on events.
+        """
+        self.callbacks = None
 
 
 class Timeout(Event):
@@ -325,6 +344,15 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Process | None = None
+        #: Kernel counters — cheap integers updated on the hot path so
+        #: perf benchmarks can observe scheduling behaviour.
+        self.events_scheduled = 0
+        self.events_executed = 0
+        self.peak_heap_size = 0
+        self.tombstones_skipped = 0
+        #: Longest put/get/request waiter queue seen by any store or
+        #: resource attached to this environment.
+        self.max_waiter_queue = 0
 
     # -- introspection ------------------------------------------------
 
@@ -346,6 +374,21 @@ class Environment:
     def queue_size(self) -> int:
         return len(self._queue)
 
+    def kernel_counters(self) -> dict[str, int]:
+        """Snapshot of the kernel's scheduling counters."""
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_executed": self.events_executed,
+            "peak_heap_size": self.peak_heap_size,
+            "tombstones_skipped": self.tombstones_skipped,
+            "max_waiter_queue": self.max_waiter_queue,
+        }
+
+    def _note_waiters(self, length: int) -> None:
+        """Record a waiter-queue length (stores/resources call this)."""
+        if length > self.max_waiter_queue:
+            self.max_waiter_queue = length
+
     # -- factories ----------------------------------------------------
 
     def event(self) -> Event:
@@ -366,10 +409,14 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self.events_scheduled += 1
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, priority, self._eid, event))
+        if len(queue) > self.peak_heap_size:
+            self.peak_heap_size = len(queue)
 
     def step(self) -> None:
-        """Process the single next event.
+        """Process the single next event (no-op for tombstones).
 
         Raises
         ------
@@ -381,8 +428,12 @@ class Environment:
         when, _prio, _eid, event = heapq.heappop(self._queue)
         self._now = when
         callbacks = event.callbacks
+        if callbacks is None:
+            # Dismissed via cancel_scheduled(): skip without executing.
+            self.tombstones_skipped += 1
+            return
         event.callbacks = None
-        assert callbacks is not None
+        self.events_executed += 1
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:

@@ -11,11 +11,17 @@ slots.  Requests are events; they succeed once a slot is free.  A
 :class:`PriorityResource` serves requests lowest-priority-value first.
 These are used for, e.g., serializing access to the simulated batch
 system and the RPC server worker pools.
+
+The FIFO wait queue is a ``deque`` and the holder set a hash set, so
+request, grant, and release are all O(1) (O(log n) for the priority
+variant).  Withdrawn requests are tombstoned in place and skipped
+lazily when they reach the head — no list scans, no re-heapify.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any
 
 from .core import Environment, Event, NORMAL, URGENT
@@ -26,12 +32,13 @@ __all__ = ["Request", "Release", "Resource", "PriorityRequest", "PriorityResourc
 class Request(Event):
     """A pending claim on one slot of a resource."""
 
-    __slots__ = ("resource", "proc")
+    __slots__ = ("resource", "proc", "_withdrawn")
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
         self.proc = resource.env.active_process
+        self._withdrawn = False
         resource._queue_request(self)
         resource._trigger_requests()
 
@@ -66,8 +73,8 @@ class Resource:
             raise ValueError("capacity must be positive")
         self.env = env
         self._capacity = capacity
-        self._waiting: list[Request] = []
-        self._users: list[Request] = []
+        self._waiting: deque[Request] = deque()
+        self._users: set[Request] = set()
 
     @property
     def capacity(self) -> int:
@@ -81,7 +88,7 @@ class Resource:
     @property
     def queue(self) -> list[Request]:
         """Requests waiting for a slot (read-only view)."""
-        return list(self._waiting)
+        return [r for r in self._waiting if not r._withdrawn]
 
     def request(self) -> Request:
         return Request(self)
@@ -93,12 +100,16 @@ class Resource:
 
     def _queue_request(self, request: Request) -> None:
         self._waiting.append(request)
+        self.env._note_waiters(len(self._waiting))
 
     def _next_request(self) -> Request | None:
-        return self._waiting[0] if self._waiting else None
+        waiting = self._waiting
+        while waiting and waiting[0]._withdrawn:
+            waiting.popleft()
+        return waiting[0] if waiting else None
 
     def _pop_request(self) -> Request:
-        return self._waiting.pop(0)
+        return self._waiting.popleft()
 
     def _trigger_requests(self) -> None:
         while len(self._users) < self._capacity:
@@ -106,18 +117,16 @@ class Resource:
             if request is None:
                 break
             self._pop_request()
-            self._users.append(request)
+            self._users.add(request)
             request.succeed(priority=NORMAL)
 
     def _cancel(self, request: Request) -> None:
         if request in self._users:
-            self._users.remove(request)
+            self._users.discard(request)
             self._trigger_requests()
         else:
-            try:
-                self._waiting.remove(request)
-            except ValueError:
-                pass
+            # Tombstone: dropped lazily when it reaches the queue head.
+            request._withdrawn = True
 
 
 class PriorityRequest(Request):
@@ -152,25 +161,18 @@ class PriorityResource(Resource):
 
     @property
     def queue(self) -> list[Request]:
-        return sorted(self._heap)
+        return sorted(r for r in self._heap if not r._withdrawn)
 
     def _queue_request(self, request: Request) -> None:
         assert isinstance(request, PriorityRequest)
         heapq.heappush(self._heap, request)
+        self.env._note_waiters(len(self._heap))
 
     def _next_request(self) -> Request | None:
-        return self._heap[0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0]._withdrawn:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
 
     def _pop_request(self) -> Request:
         return heapq.heappop(self._heap)
-
-    def _cancel(self, request: Request) -> None:
-        if request in self._users:
-            self._users.remove(request)
-            self._trigger_requests()
-        else:
-            try:
-                self._heap.remove(request)  # type: ignore[arg-type]
-                heapq.heapify(self._heap)
-            except ValueError:
-                pass

@@ -10,11 +10,25 @@ Variants:
 * :class:`PriorityStore` — items retrieved lowest-first.
 * :class:`FilterStore` — ``get(filter)`` retrieves the first item
   matching a predicate.
+
+All waiter queues and the plain FIFO item buffer are ``deque``-backed so
+every hot-path operation (enqueue, dequeue, waiter dispatch) is O(1);
+cancelled waiters are tombstoned in place and dropped lazily when they
+reach the head of their queue.
+
+:class:`FilterStore` dispatches incrementally: a new get is vetted
+against the buffered items exactly once, and a new item is offered to
+the blocked waiters exactly once, under the invariant that every
+blocked waiter has already failed every buffered item.  The historical
+implementation instead rescanned every blocked waiter against every
+buffered item on every store operation, which made a deep waiter
+backlog quadratic.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable
 
 from .core import Environment, Event, NORMAL
@@ -32,31 +46,38 @@ __all__ = [
 class StorePut(Event):
     """Pending insertion of ``item`` into a store."""
 
-    __slots__ = ("item",)
+    __slots__ = ("item", "_cancelled")
 
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
-        store._put_waiters.append(self)
-        store._dispatch()
+        self._cancelled = False
+        store._enqueue_put(self)
 
     def cancel(self) -> None:
-        try:
-            # Only meaningful while still waiting.
-            self.env  # noqa: B018 - attribute access for liveness
-        finally:
-            pass
+        """Withdraw the pending put (no-op once the item is stored).
+
+        The waiter entry is tombstoned and dropped lazily by the store's
+        dispatch loop; the event never fires.
+        """
+        if not self.triggered:
+            self._cancelled = True
 
 
 class StoreGet(Event):
     """Pending retrieval of an item from a store."""
 
-    __slots__ = ()
+    __slots__ = ("_cancelled",)
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
-        store._get_waiters.append(self)
-        store._dispatch()
+        self._cancelled = False
+        store._enqueue_get(self)
+
+    def cancel(self) -> None:
+        """Withdraw the pending get (no-op once an item was handed over)."""
+        if not self.triggered:
+            self._cancelled = True
 
 
 class FilterStoreGet(StoreGet):
@@ -79,9 +100,9 @@ class Store:
             raise ValueError("capacity must be positive")
         self.env = env
         self._capacity = capacity
-        self.items: list[Any] = []
-        self._put_waiters: list[StorePut] = []
-        self._get_waiters: list[StoreGet] = []
+        self.items: Any = self._new_items()
+        self._put_waiters: deque[StorePut] = deque()
+        self._get_waiters: deque[StoreGet] = deque()
 
     @property
     def capacity(self) -> float:
@@ -100,47 +121,56 @@ class Store:
 
     # -- internals ------------------------------------------------------
 
-    def _do_put(self, event: StorePut) -> bool:
-        if len(self.items) < self._capacity:
-            self._insert(event.item)
-            event.succeed(priority=NORMAL)
-            return True
-        return False
+    def _enqueue_put(self, event: StorePut) -> None:
+        waiters = self._put_waiters
+        waiters.append(event)
+        self.env._note_waiters(len(waiters))
+        self._dispatch()
 
-    def _do_get(self, event: StoreGet) -> bool:
-        if self.items:
-            event.succeed(self._extract(), priority=NORMAL)
-            return True
-        return False
+    def _enqueue_get(self, event: StoreGet) -> None:
+        waiters = self._get_waiters
+        waiters.append(event)
+        self.env._note_waiters(len(waiters))
+        self._dispatch()
+
+    def _new_items(self) -> Any:
+        return deque()
 
     def _insert(self, item: Any) -> None:
         self.items.append(item)
 
     def _extract(self) -> Any:
-        return self.items.pop(0)
+        return self.items.popleft()
 
     def _dispatch(self) -> None:
         # Alternate put/get matching until no more progress can be made.
+        puts = self._put_waiters
+        gets = self._get_waiters
+        items = self.items
+        capacity = self._capacity
         progress = True
         while progress:
             progress = False
-            while self._put_waiters:
-                put = self._put_waiters[0]
-                if put.triggered:
-                    self._put_waiters.pop(0)
+            while puts:
+                put = puts[0]
+                if put.triggered or put._cancelled:
+                    puts.popleft()
                     continue
-                if self._do_put(put):
-                    self._put_waiters.pop(0)
+                if len(items) < capacity:
+                    self._insert(put.item)
+                    put.succeed(priority=NORMAL)
+                    puts.popleft()
                     progress = True
                 else:
                     break
-            while self._get_waiters:
-                get = self._get_waiters[0]
-                if get.triggered:
-                    self._get_waiters.pop(0)
+            while gets:
+                get = gets[0]
+                if get.triggered or get._cancelled:
+                    gets.popleft()
                     continue
-                if self._do_get(get):
-                    self._get_waiters.pop(0)
+                if items:
+                    get.succeed(self._extract(), priority=NORMAL)
+                    gets.popleft()
                     progress = True
                 else:
                     break
@@ -170,6 +200,9 @@ class PriorityItem:
 class PriorityStore(Store):
     """Store retrieving the smallest item first (heap-ordered)."""
 
+    def _new_items(self) -> Any:
+        return []
+
     def _insert(self, item: Any) -> None:
         heapq.heappush(self.items, item)
 
@@ -182,40 +215,86 @@ class FilterStore(Store):
 
     Note that a blocked get at the queue head does *not* block gets
     behind it whose predicates match available items.
+
+    Dispatch is incremental.  Invariant between operations: every
+    blocked get-waiter has already been tested against (and failed)
+    every buffered item.  A new get therefore only scans the buffer,
+    and a newly admitted item is only offered to the waiter list —
+    nothing is ever rescanned, so a deep waiter backlog costs O(1)
+    per unrelated operation instead of O(waiters).
     """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        # Needs mid-queue removal when a later waiter matches first.
+        self._get_waiters: list[StoreGet] = []  # type: ignore[assignment]
+
+    def _new_items(self) -> Any:
+        return []
 
     def get(  # type: ignore[override]
         self, predicate: Callable[[Any], bool] = lambda item: True
     ) -> FilterStoreGet:
         return FilterStoreGet(self, predicate)
 
-    def _dispatch(self) -> None:
-        progress = True
-        while progress:
-            progress = False
-            while self._put_waiters:
-                put = self._put_waiters[0]
-                if put.triggered:
-                    self._put_waiters.pop(0)
-                    continue
-                if self._do_put(put):
-                    self._put_waiters.pop(0)
-                    progress = True
-                else:
-                    break
-            still_waiting: list[StoreGet] = []
-            for get in self._get_waiters:
-                if get.triggered:
-                    continue
-                assert isinstance(get, FilterStoreGet)
-                matched = False
-                for idx, item in enumerate(self.items):
-                    if get.predicate(item):
-                        del self.items[idx]
-                        get.succeed(item, priority=NORMAL)
-                        matched = True
-                        progress = True
-                        break
-                if not matched:
-                    still_waiting.append(get)
-            self._get_waiters = still_waiting
+    def _enqueue_put(self, event: StorePut) -> None:
+        puts = self._put_waiters
+        while puts and (puts[0].triggered or puts[0]._cancelled):
+            puts.popleft()
+        if not puts and len(self.items) < self._capacity:
+            self._admit(event)
+        else:
+            puts.append(event)
+            self.env._note_waiters(len(puts))
+
+    def _enqueue_get(self, event: StoreGet) -> None:
+        assert isinstance(event, FilterStoreGet)
+        items = self.items
+        predicate = event.predicate
+        for idx, item in enumerate(items):
+            if predicate(item):
+                del items[idx]
+                event.succeed(item, priority=NORMAL)
+                self._admit_blocked_puts()
+                return
+        waiters = self._get_waiters
+        waiters.append(event)
+        self.env._note_waiters(len(waiters))
+
+    def _admit(self, put: StorePut) -> None:
+        """Store ``put``'s item, offering it to blocked waiters first.
+
+        Succeeds the put, then hands the item to the first blocked
+        waiter (FIFO) whose predicate matches; only if none match does
+        the item enter the buffer.  The invariant guarantees no waiter
+        can match any *older* buffered item, so this single offer pass
+        is equivalent to the historical full rescan.
+        """
+        put.succeed(priority=NORMAL)
+        item = put.item
+        waiters = self._get_waiters
+        dead = 0
+        for idx, get in enumerate(waiters):
+            if get.triggered or get._cancelled:
+                dead += 1
+                continue
+            if get.predicate(item):  # type: ignore[attr-defined]
+                del waiters[idx]
+                get.succeed(item, priority=NORMAL)
+                return
+        if dead > 64 and dead * 2 > len(waiters):
+            # Piggy-back tombstone compaction on the full scan we
+            # just paid for.
+            self._get_waiters = [
+                g for g in waiters if not (g.triggered or g._cancelled)
+            ]
+        self.items.append(item)
+
+    def _admit_blocked_puts(self) -> None:
+        puts = self._put_waiters
+        items = self.items
+        while puts and len(items) < self._capacity:
+            put = puts.popleft()
+            if put.triggered or put._cancelled:
+                continue
+            self._admit(put)

@@ -18,8 +18,8 @@ This module provides that instrumentation path:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
 
 from ..conduit import Node as ConduitNode
 from ..rp.model import ExecutionContext, TaskModel, TaskResult

@@ -14,7 +14,7 @@ the session's RPC registry so clients can connect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
 from ..conduit import Node as ConduitNode

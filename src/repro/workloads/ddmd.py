@@ -18,7 +18,7 @@ inside each of ``m`` concurrent pipelines.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..rp.description import TaskDescription
 from ..rp.model import ExecutionContext, RankProfile, TaskModel, TaskResult

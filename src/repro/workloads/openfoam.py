@@ -26,14 +26,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
 
 from ..rp.description import TaskDescription
 from ..rp.model import ExecutionContext, RankProfile, TaskModel, TaskResult
 from ..sim.core import Interrupt
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    import numpy as np
 
 __all__ = ["OpenFOAMParams", "OpenFOAMTaskModel", "openfoam_task_description"]
 

@@ -1,11 +1,14 @@
 """Statistics, report rendering, overhead accounting."""
 
+import math
+
 import pytest
 
 from repro.analysis import (
-    OverheadResult,
     Summary,
     compare_runtimes,
+    fmt,
+    fmt_percent,
     group_by,
     makespan_overhead,
     percent_change,
@@ -26,14 +29,31 @@ class TestSummarize:
         assert s.minimum == 1.0
         assert s.maximum == 5.0
 
-    def test_empty(self):
+    def test_empty_has_no_order_statistics(self):
+        # Regression: an all-zero Summary was indistinguishable from a
+        # genuine all-zero sample; the empty sample's statistics are NaN.
         s = summarize([])
         assert s.count == 0
-        assert s.mean == 0.0
+        for value in (s.mean, s.std, s.minimum, s.p25, s.median, s.p75,
+                      s.maximum):
+            assert math.isnan(value)
+
+    def test_empty_differs_from_all_zero_sample(self):
+        zeros = summarize([0.0, 0.0])
+        empty = summarize([])
+        assert zeros.mean == 0.0
+        assert not math.isnan(zeros.median)
+        assert math.isnan(empty.median)
 
     def test_str_contains_fields(self):
         text = str(summarize([1.0, 2.0]))
         assert "mean=1.50" in text
+
+    def test_str_of_empty_is_na(self):
+        text = str(summarize([]))
+        assert "n=0" in text
+        assert "n/a" in text
+        assert "nan" not in text
 
 
 class TestHelpers:
@@ -44,10 +64,21 @@ class TestHelpers:
     def test_percent_change(self):
         assert percent_change(100.0, 110.0) == pytest.approx(10.0)
         assert percent_change(100.0, 90.0) == pytest.approx(-10.0)
-        assert percent_change(0.0, 50.0) == 0.0
+
+    def test_percent_change_zero_baseline_is_nan(self):
+        # Regression: used to return 0.0, silently reporting zero
+        # overhead whenever the baseline was zero.
+        assert math.isnan(percent_change(0.0, 50.0))
+        assert math.isnan(percent_change(0.0, 0.0))
 
     def test_makespan_overhead(self):
         assert makespan_overhead(100.0, 104.6) == pytest.approx(4.6)
+
+    def test_fmt_renders_nan_as_na(self):
+        assert fmt(math.nan) == "n/a"
+        assert fmt(3.14159, ".2f") == "3.14"
+        assert fmt_percent(math.nan) == "n/a"
+        assert fmt_percent(4.6) == "+4.60%"
 
 
 class TestCompareRuntimes:
@@ -97,3 +128,8 @@ class TestRendering:
         text = render_boxes({"cfg": [1.0, 2.0, 3.0]}, title="Fig")
         assert "cfg" in text
         assert "median" in text
+
+    def test_render_boxes_empty_group_shows_na(self):
+        text = render_boxes({"empty": []})
+        assert "n/a" in text
+        assert "nan" not in text

@@ -1,6 +1,5 @@
 """EnTK layer: pipelines, stages, barriers, callbacks."""
 
-import pytest
 
 from repro.entk import AppManager, Pipeline, Stage
 from repro.platform import summit_like

@@ -1,7 +1,5 @@
 """Experiment harness configuration and small-scale behaviour."""
 
-import numpy as np
-import pytest
 
 from repro.experiments import (
     DDMD_ADAPTIVE_TRAIN_COUNTS,

@@ -1,6 +1,5 @@
 """Cancellation and node-failure behaviour across the stack."""
 
-import pytest
 
 from repro.platform import NodeFailure, summit_like
 from repro.rp import (

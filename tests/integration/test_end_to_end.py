@@ -20,7 +20,6 @@ from repro.soma import (
     load_imbalance,
     rank_region_breakdown,
     task_throughput,
-    workflow_summary_series,
 )
 
 

@@ -1,6 +1,5 @@
 """Failure injection: task failures, service death, monitor resilience."""
 
-import pytest
 
 from repro.platform import summit_like
 from repro.rp import (

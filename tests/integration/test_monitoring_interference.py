@@ -5,8 +5,6 @@ frequent monitoring stalls RP's state machinery through the profile
 I/O lock, and monitoring traffic/compute is visible but small.
 """
 
-import numpy as np
-import pytest
 
 from repro.experiments import run_workflow
 from repro.rp import FixedDurationModel, RPConfig, TaskDescription

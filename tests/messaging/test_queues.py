@@ -3,7 +3,6 @@
 import pytest
 
 from repro.messaging import ComponentQueue, QueueRegistry
-from repro.sim import Environment
 
 
 def test_put_get_round_trip(env):

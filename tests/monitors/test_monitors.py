@@ -1,6 +1,5 @@
 """The three monitoring clients over the full stack."""
 
-import pytest
 
 from repro.platform import summit_like
 from repro.rp import (
@@ -167,8 +166,6 @@ class TestTAUPlugin:
             assert "MPI_Waitall" in regions
 
     def test_sampling_overhead_applied(self):
-        from repro.monitors import TAUWrappedModel
-        from repro.rp import ExecutionContext
 
         session = Session(cluster_spec=summit_like(3), seed=1)
         client = Client(session)

@@ -1,0 +1,57 @@
+"""Smoke test for the kernel perf suite (quick mode).
+
+Runs the microbenchmarks once at CI scale and checks the contract the
+perf-regression harness depends on: the JSON schema is stable, the
+kernel counters are populated, and the store-churn speedup over the
+in-tree legacy replica is present with a wide margin (the full-scale
+bench demonstrates the 5x+ requirement; at smoke scale we assert a
+conservative floor so shared CI runners do not flake).
+"""
+
+import json
+import os
+import sys
+
+BENCH_DIR = os.path.abspath(
+    os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "benchmarks", "perf"
+    )
+)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import bench_kernel  # noqa: E402
+from perf_common import write_results  # noqa: E402
+
+
+def test_quick_suite_schema_and_speedup(tmp_path):
+    results = bench_kernel.run_all(quick=True)
+
+    assert results["schema"] == 1
+    assert results["quick"] is True
+    benches = results["benches"]
+    assert set(benches) == {
+        "store_churn",
+        "resource_contention",
+        "batch_grant",
+        "rpc_fanout",
+        "fig4_e2e",
+    }
+
+    churn = benches["store_churn"]
+    assert churn["speedup"] >= 4.0
+    assert churn["filter"]["speedup"] > churn["fifo"]["speedup"]
+    assert churn["counters"]["max_waiter_queue"] >= churn["waiters"]
+    assert churn["counters"]["events_scheduled"] > 0
+
+    for name in ("resource_contention", "batch_grant", "rpc_fanout"):
+        assert benches[name]["seconds"] > 0
+        assert benches[name]["counters"]["events_executed"] > 0
+
+    e2e = benches["fig4_e2e"]
+    assert e2e["makespan"] > 0
+    assert e2e["tasks"] > 0
+
+    out = tmp_path / "BENCH_perf.json"
+    write_results(str(out), results)
+    assert json.loads(out.read_text())["benches"]["store_churn"]["waiters"]

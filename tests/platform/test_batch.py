@@ -3,7 +3,6 @@
 import pytest
 
 from repro.platform import BatchError, Cluster, JobRequest, summit_like
-from repro.sim import Environment
 
 
 @pytest.fixture
@@ -73,6 +72,72 @@ def test_release_returns_nodes(env, cluster):
     env.run()
     assert cluster.batch.free_nodes == 4
     assert cluster.batch.completed == 1
+
+
+class TestBackfill:
+    """Opt-in backfilling: later jobs that fit run past a blocked head."""
+
+    def test_backfill_grants_fitting_job_past_blocked_head(self, env):
+        from repro.platform.batch import BatchSystem
+        from repro.platform.specs import summit_like
+        from repro.platform.cluster import Cluster
+
+        cluster = Cluster(env, summit_like(4))
+        batch = BatchSystem(env, cluster.nodes, backfill=True)
+        log = []
+
+        def submit(nodes, hold, name):
+            alloc = yield from batch.submit(
+                JobRequest(nodes=nodes, walltime=1e6, name=name)
+            )
+            log.append((name, env.now))
+            yield env.timeout(hold)
+            batch.release(alloc)
+
+        env.process(submit(3, 10, "big"))
+        env.process(submit(2, 5, "waits"))  # head-of-line: needs 2, 1 free
+        env.process(submit(1, 5, "small"))  # fits the single free node
+        env.run()
+        start = {name: t for name, t in log}
+        # 'small' is backfilled at t=0 instead of waiting for 'big'.
+        assert start["small"] == 0.0
+        assert start["waits"] >= 10.0
+        assert batch.backfilled == 1
+
+    def test_backfill_preserves_order_among_blocked_jobs(self, env):
+        from repro.platform.batch import BatchSystem
+        from repro.platform.cluster import Cluster
+        from repro.platform.specs import summit_like
+
+        cluster = Cluster(env, summit_like(4))
+        batch = BatchSystem(env, cluster.nodes, backfill=True)
+        log = []
+
+        def submit(nodes, hold, name):
+            alloc = yield from batch.submit(
+                JobRequest(nodes=nodes, walltime=1e6, name=name)
+            )
+            log.append((name, env.now))
+            yield env.timeout(hold)
+            batch.release(alloc)
+
+        env.process(submit(4, 10, "full"))
+        env.process(submit(3, 5, "first"))
+        env.process(submit(3, 5, "second"))
+        env.run()
+        # Nothing can backfill (0 free); FIFO order must hold.
+        assert [name for name, _ in log] == ["full", "first", "second"]
+        assert batch.backfilled == 0
+
+    def test_strict_fifo_is_the_default(self, env, cluster):
+        assert cluster.batch.backfill is False
+        log = []
+        env.process(submit_and_hold(env, cluster, 3, 10, log, "big"))
+        env.process(submit_and_hold(env, cluster, 2, 5, log, "waits"))
+        env.process(submit_and_hold(env, cluster, 1, 5, log, "small"))
+        env.run()
+        start = {name: t for name, t, _ in log}
+        assert start["small"] >= 10.0  # head still blocks everyone
 
 
 def test_allocation_walltime_bookkeeping(env, cluster):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.platform.metering import EventCounter, StepIntegrator
-from repro.sim import Environment
 
 
 class TestStepIntegrator:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.platform import Network, NetworkSpec
-from repro.sim import Environment
 
 
 @pytest.fixture

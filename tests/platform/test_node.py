@@ -3,7 +3,6 @@
 import pytest
 
 from repro.platform import AllocationError, Node, NodeSpec
-from repro.sim import Environment
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.platform import Cluster, summit_like
-from repro.sim import Environment
 
 
 @pytest.fixture

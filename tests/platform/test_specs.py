@@ -1,6 +1,6 @@
 """Platform specifications."""
 
-from repro.platform import SUMMIT, ClusterSpec, NodeSpec, summit_like
+from repro.platform import SUMMIT, summit_like
 
 
 def test_summit_node_geometry():

@@ -5,7 +5,6 @@ import pytest
 from repro.platform import summit_like
 from repro.rp import (
     Client,
-    ComputeModel,
     FixedDurationModel,
     PilotDescription,
     PilotState,

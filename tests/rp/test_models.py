@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.platform import Cluster, summit_like
+from repro.platform import summit_like
 from repro.rp import (
     ComputeModel,
     ExecutionContext,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.rp import ProfileRecord, ProfileStore
-from repro.sim import Environment
 
 
 def rec(t, uid="task.000000", event="state", state="NEW"):

@@ -1,6 +1,5 @@
 """Agent scheduler: placement invariants, pinning, sharing policy."""
 
-import pytest
 
 from repro.platform import summit_like
 from repro.rp import (

@@ -1,6 +1,5 @@
 """Session: uids, jitter, stable RNG, wiring."""
 
-import pytest
 
 from repro.platform import summit_like
 from repro.rp import RPConfig, Session

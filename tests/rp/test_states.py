@@ -1,6 +1,5 @@
 """Task/pilot state machine legality."""
 
-import pytest
 
 from repro.rp.states import (
     EXECUTING_EVENTS,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.rp import InvalidTransition, Task, TaskDescription, TaskState
-from repro.sim import Environment
 
 
 @pytest.fixture

@@ -1,0 +1,90 @@
+"""Kernel counters and tombstoned (lazily cancelled) events."""
+
+import pytest
+
+from repro.sim import Resource, Store
+from repro.sim.core import Timeout
+
+
+class TestKernelCounters:
+    def test_counters_start_at_zero(self, env):
+        assert env.kernel_counters() == {
+            "events_scheduled": 0,
+            "events_executed": 0,
+            "peak_heap_size": 0,
+            "tombstones_skipped": 0,
+            "max_waiter_queue": 0,
+        }
+
+    def test_events_are_counted(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            yield env.timeout(2)
+
+        env.process(proc(env))
+        env.run()
+        counters = env.kernel_counters()
+        assert counters["events_scheduled"] > 0
+        assert counters["events_executed"] > 0
+        assert counters["events_scheduled"] >= counters["events_executed"]
+        assert counters["peak_heap_size"] >= 1
+
+    def test_peak_heap_size_tracks_fanout(self, env):
+        def waiter(env, d):
+            yield env.timeout(d)
+
+        for i in range(50):
+            env.process(waiter(env, i))
+        env.run()
+        assert env.peak_heap_size >= 50
+
+    def test_max_waiter_queue_tracks_store_backlog(self, env):
+        store = Store(env)
+        for _ in range(25):
+            store.get()
+        assert env.max_waiter_queue >= 25
+
+    def test_max_waiter_queue_tracks_resource_backlog(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+
+        for _ in range(10):
+            env.process(proc(env))
+        env.run()
+        assert env.max_waiter_queue >= 9
+
+
+class TestTombstones:
+    def test_cancelled_timeout_does_not_fire(self, env):
+        fired = []
+        timer = Timeout(env, 5.0)
+        timer.callbacks.append(lambda ev: fired.append(env.now))
+        timer.cancel_scheduled()
+        env.run()
+        assert fired == []
+        assert env.tombstones_skipped == 1
+
+    def test_cancel_does_not_disturb_other_events(self, env):
+        fired = []
+        doomed = Timeout(env, 1.0)
+        doomed.callbacks.append(lambda ev: fired.append("doomed"))
+        keeper = Timeout(env, 2.0)
+        keeper.callbacks.append(lambda ev: fired.append("keeper"))
+        doomed.cancel_scheduled()
+        env.run()
+        assert fired == ["keeper"]
+        assert env.now == pytest.approx(2.0)
+
+    def test_rateshare_reuses_single_timer(self, env):
+        """A pool arms one timer per reschedule, tombstoning the old."""
+        from repro.platform.rateshare import FairShareChannel
+
+        channel = FairShareChannel(env, capacity=10.0)
+        a = channel.execute(work=100.0)
+        channel.execute(work=100.0)  # supersedes a's ETA -> tombstone
+        env.run(a.done)
+        assert env.tombstones_skipped >= 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, PriorityResource, Resource
+from repro.sim import PriorityResource, Resource
 
 
 def holder(env, resource, hold, log, tag, priority=None):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim import (
-    Environment,
     FilterStore,
     PriorityItem,
     PriorityStore,
@@ -73,6 +72,42 @@ class TestStore:
         store.put(2)
         env.run()
         assert len(store) == 2
+
+
+class TestCancellation:
+    def test_cancelled_get_is_skipped(self, env):
+        store = Store(env)
+        first = store.get()
+        second = store.get()
+        first.cancel()
+        store.put("item")
+        env.run()
+        assert not first.triggered
+        assert second.triggered and second.value == "item"
+
+    def test_cancelled_put_is_skipped(self, env):
+        store = Store(env, capacity=1)
+        store.put("held")
+        blocked = store.put("blocked")
+        behind = store.put("behind")
+        blocked.cancel()
+
+        def consumer(env):
+            out = []
+            for _ in range(2):
+                out.append((yield store.get()))
+            return out
+
+        assert env.run(env.process(consumer(env))) == ["held", "behind"]
+        assert not blocked.triggered
+
+    def test_cancel_after_trigger_is_noop(self, env):
+        store = Store(env)
+        put = store.put("x")
+        assert put.triggered
+        put.cancel()
+        env.run()
+        assert len(store) == 1
 
 
 class TestPriorityStore:

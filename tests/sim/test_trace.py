@@ -1,6 +1,6 @@
 """Tracer behaviour."""
 
-from repro.sim import Environment, Tracer
+from repro.sim import Tracer
 
 
 def test_records_carry_time(env):

@@ -2,13 +2,11 @@
 
 import math
 
-import pytest
 
 from repro.platform import summit_like
 from repro.rp import Client, PilotDescription, Session
 from repro.workloads import (
     OpenFOAMParams,
-    OpenFOAMTaskModel,
     openfoam_task_description,
 )
 
