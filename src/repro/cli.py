@@ -6,6 +6,7 @@ Usage::
     python -m repro openfoam --experiment tuning --seed 11
     python -m repro ddmd --experiment adaptive
     python -m repro scaling --pipelines 16 --modes none shared exclusive
+    python -m repro lint src/repro
 """
 
 from __future__ import annotations
@@ -55,6 +56,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scale.add_argument("--frequent", action="store_true")
     p_scale.add_argument("--seed", type=int, default=5)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run simlint (determinism/lifecycle static analysis)",
+        description=(
+            "Walk the given files/directories with the simlint AST rules "
+            "and report determinism and event-lifecycle hazards.  Exits "
+            "non-zero on any unsuppressed finding; suppress with an "
+            "inline `# simlint: disable=RULE(reason)` comment."
+        ),
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    p_lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings with their justifications",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
     return parser
 
 
@@ -154,6 +183,19 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .sanitize import simlint
+
+    if args.list_rules:
+        width = max(len(rule.name) for rule in simlint.RULES.values())
+        for rule in simlint.RULES.values():
+            print(f"{rule.id}  {rule.name:<{width}}  {rule.summary}")
+        return 0
+    return simlint.main(
+        args.paths, fmt=args.fmt, show_suppressed=args.show_suppressed
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -164,6 +206,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_ddmd(args)
     if args.command == "scaling":
         return _cmd_scaling(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
-from ..sim.core import Environment, Event
+from ..sim.core import Environment, Event, Interrupt
 from ..sim.events import TimeoutExpired, with_timeout
 from ..sim.resources import Resource
 from ..platform.network import Network
@@ -170,6 +170,12 @@ class RPCServer:
             try:
                 body = handler(request)
                 ok = True
+            except Interrupt:
+                # No yield inside this try, so the kernel cannot deliver
+                # cancellation here — but an Interrupt raised through a
+                # nested frame is still cancellation and must propagate
+                # rather than become an error response.
+                raise
             except Exception as exc:  # handler bug → error response
                 body = exc
                 ok = False
@@ -362,10 +368,15 @@ def _swallow(generator: Generator[Event, Any, Any]) -> Generator[Event, Any, Non
 
     Duplicate deliveries must not crash the run when the server dies
     mid-service; their side effects (stored records, charged CPU) are
-    the point, not their return value.
+    the point, not their return value.  The kernel's :class:`Interrupt`
+    subclasses ``Exception``, so cancellation must be re-raised
+    explicitly — swallowing it here would detach fault-injection
+    shutdown from every duplicate-delivery process.
     """
     try:
         yield from generator
+    except Interrupt:
+        raise
     except Exception:
         pass
 

@@ -37,8 +37,15 @@ class AgentExecutor:
         self.session = agent.session
         self.env = agent.session.env
         self._inbox: Store = Store(self.env)
-        self._procs: dict[str, Process] = {}
-        self._service_procs: dict[str, Process] = {}
+        # Task-process tables are written by the executor loop and read
+        # by cancel()/stop() from other processes; opted in to the
+        # kernel's write-between-yields race detection under sanitize.
+        self._procs: "dict[str, Process]" = self.env.shared_dict(
+            "rp.executor.procs"
+        )
+        self._service_procs: "dict[str, Process]" = self.env.shared_dict(
+            "rp.executor.service_procs"
+        )
         self._stopped = False
         self.launched = 0
         self.completed = 0

@@ -26,6 +26,7 @@ from .model import ExecutionContext, ServiceModel, TaskResult
 __all__ = ["FunctionCall", "RaptorWorkerModel", "RaptorMaster"]
 
 _call_ids = itertools.count()
+_worker_ids = itertools.count()
 
 
 @dataclass(slots=True)
@@ -51,10 +52,14 @@ class RaptorWorkerModel(ServiceModel):
 
     def __init__(self, master: "RaptorMaster") -> None:
         self.master = master
+        #: Minted worker uid — inbox routing must not key on id():
+        #: CPython addresses vary run to run, which would make any
+        #: iteration or trace of the inbox table nondeterministic.
+        self.uid = next(_worker_ids)
 
     def execute(self, ctx: ExecutionContext):
         inbox: Store = Store(ctx.env)
-        self.master._worker_inboxes[id(self)] = inbox
+        self.master._worker_inboxes[self.uid] = inbox
         self.master._register_worker(self)
         try:
             while True:
@@ -135,7 +140,7 @@ class RaptorMaster:
         while self._backlog and self._free:
             call = self._backlog.popleft()
             worker = self._free.popleft()
-            self._worker_inboxes[id(worker)].put(call)
+            self._worker_inboxes[worker.uid].put(call)
             self.dispatched += 1
 
     def _call_finished(self, worker: RaptorWorkerModel, call: FunctionCall) -> None:

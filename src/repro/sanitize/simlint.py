@@ -1,0 +1,798 @@
+"""simlint: determinism and lifecycle static analysis for the DES stack.
+
+Every figure in this reproduction rests on the claim that the
+discrete-event kernel is deterministic and leak-free.  One stray
+``time.time()``, an unseeded global ``random`` call, or iteration over a
+``set`` feeding a scheduling decision silently corrupts overhead
+measurements the same way noisy co-located monitors corrupt real Summit
+runs — the run still *completes*, the numbers are just wrong.  simlint
+walks the source with the stdlib :mod:`ast` (no third-party
+dependencies) and flags the hazard classes we have actually been bitten
+by, so the property is enforced instead of assumed.
+
+Rules
+-----
+
+========  =================  ======================================================
+id        name               flags
+========  =================  ======================================================
+SL001     wall-clock         ``time.time``/``monotonic``/``perf_counter``,
+                             ``datetime.now``/``utcnow``/``today`` — real time
+                             read inside simulated time
+SL002     real-sleep         ``time.sleep`` — blocks the host, not the sim clock
+SL003     global-random      module-level ``random.*`` / ``numpy.random.*`` draws
+                             (unseeded process-global streams; use a seeded
+                             ``numpy`` ``Generator`` threaded from the Session)
+SL004     nondet-entropy     ``uuid.uuid1``/``uuid4``, ``os.urandom``,
+                             ``secrets.*`` — OS entropy varies across runs
+SL005     set-iteration      iterating a set expression; str-hash randomization
+                             makes the order differ between interpreter runs
+SL006     id-ordering        any ``id()`` call — CPython addresses vary run to
+                             run, so id-keyed or id-ordered state is nondeterministic
+SL007     hash-ordering      ``hash()`` outside ``__hash__``/``__eq__`` — str/bytes
+                             hashes are salted per interpreter run
+SL008     swallow-interrupt  ``except Exception``/bare ``except`` around a
+                             ``yield`` with no ``except Interrupt`` and no
+                             re-raise — swallows kernel cancellation
+SL009     orphan-event       a local ``env.event()`` that is yielded but never
+                             triggered and never escapes — the process parks forever
+SL010     dropped-event      ``env.timeout(...)``/``env.event()`` whose result is
+                             discarded — schedules (or allocates) an event nobody
+                             can ever consume
+SL011     raw-request        ``resource.request()`` outside ``with`` in a function
+                             that never releases/cancels — leaks a resource slot
+========  =================  ======================================================
+
+Suppressions
+------------
+
+A finding is suppressed by an inline comment **on the flagged line**::
+
+    t0 = time.time()  # simlint: disable=wall-clock(host-side bench timing, not sim state)
+
+The rule may be named by id (``SL001``) or name (``wall-clock``), several
+suppressions may be comma-separated, and the parenthesized justification
+is *mandatory* — a suppression without a reason, or naming an unknown
+rule, is itself a finding (SL000 ``bad-suppression``).  Justifications
+must not contain ``)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Rule",
+    "Finding",
+    "Report",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One hazard class simlint detects."""
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+
+
+_RULE_LIST = [
+    Rule(
+        "SL000",
+        "bad-suppression",
+        "malformed simlint suppression",
+        "a suppression without a written justification (or naming an "
+        "unknown rule) silently disables enforcement — the reason string "
+        "is the audit trail",
+    ),
+    Rule(
+        "SL001",
+        "wall-clock",
+        "wall-clock read inside simulated code",
+        "time.time()/datetime.now() couple results to host load; all "
+        "timestamps must come from Environment.now",
+    ),
+    Rule(
+        "SL002",
+        "real-sleep",
+        "time.sleep() in simulated code",
+        "sleeping blocks the host thread without advancing the sim "
+        "clock; use env.timeout(delay)",
+    ),
+    Rule(
+        "SL003",
+        "global-random",
+        "unseeded module-level random draw",
+        "random.* and numpy.random.* module functions share hidden "
+        "process-global state; draw from a Generator seeded via the "
+        "Session so runs replay bit-for-bit",
+    ),
+    Rule(
+        "SL004",
+        "nondet-entropy",
+        "OS entropy source (uuid4/urandom/secrets)",
+        "identifiers minted from OS entropy differ across runs and leak "
+        "into traces and orderings; mint uids from Session counters",
+    ),
+    Rule(
+        "SL005",
+        "set-iteration",
+        "iteration over a set expression",
+        "str-hash randomization reorders set iteration between "
+        "interpreter runs; sort before iterating when order can reach a "
+        "scheduling decision",
+    ),
+    Rule(
+        "SL006",
+        "id-ordering",
+        "id() used as key or ordering",
+        "CPython object addresses vary run to run; id()-keyed state "
+        "makes traces irreproducible — key by a minted uid instead",
+    ),
+    Rule(
+        "SL007",
+        "hash-ordering",
+        "hash() outside __hash__/__eq__",
+        "str/bytes hashes are salted per interpreter run (PYTHONHASHSEED)",
+    ),
+    Rule(
+        "SL008",
+        "swallow-interrupt",
+        "broad except may swallow kernel Interrupt",
+        "Interrupt subclasses Exception; a broad handler around a yield "
+        "absorbs cancellation, detaching fault-injection and shutdown "
+        "from the process it targets",
+    ),
+    Rule(
+        "SL009",
+        "orphan-event",
+        "event yielded but never triggerable",
+        "a local env.event() that never escapes and is never "
+        "succeeded/failed parks its process forever (deadlock)",
+    ),
+    Rule(
+        "SL010",
+        "dropped-event",
+        "event created and immediately discarded",
+        "a discarded env.timeout() still occupies the heap until it "
+        "fires with no waiter; a discarded env.event() can never fire — "
+        "both are lifecycle leaks",
+    ),
+    Rule(
+        "SL011",
+        "raw-request",
+        "resource request outside with, never released",
+        "a granted request that no path releases pins a resource slot "
+        "until process exit; use `with resource.request() as req:`",
+    ),
+]
+
+#: All rules, keyed by id.  Rule *names* resolve through :func:`_rule_for`.
+RULES: dict[str, Rule] = {rule.id: rule for rule in _RULE_LIST}
+_RULES_BY_NAME: dict[str, Rule] = {rule.name: rule for rule in _RULE_LIST}
+
+
+def _rule_for(token: str) -> Rule | None:
+    return RULES.get(token) or _RULES_BY_NAME.get(token)
+
+
+@dataclass(slots=True)
+class Finding:
+    """One flagged source location."""
+
+    rule: Rule
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def format(self) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule.id}[{self.rule.name}] {self.message}"
+        )
+        if self.suppressed:
+            text += f"  (suppressed: {self.justification})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule.id,
+            "name": self.rule.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+# --------------------------------------------------------------------------
+# suppressions
+
+
+_DISABLE_RE = re.compile(r"#\s*simlint:\s*disable=(?P<items>.*)$")
+_ITEM_RE = re.compile(r"([A-Za-z0-9_-]+)\s*\(([^)]*)\)")
+
+
+def _iter_comments(source: str) -> Iterator[tuple[int, int, str]]:
+    """(line, col, text) of every real comment token (not string contents)."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # unparseable files are reported via ast.parse
+
+
+def _parse_suppressions(
+    source: str, path: str
+) -> tuple[dict[int, dict[str, str]], list[Finding]]:
+    """Map line -> {rule id -> justification}; malformed ones become findings."""
+    by_line: dict[int, dict[str, str]] = {}
+    findings: list[Finding] = []
+    for lineno, col, text in _iter_comments(source):
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        items = match.group("items").strip()
+        consumed = 0
+        entry: dict[str, str] = {}
+        for item in _ITEM_RE.finditer(items):
+            consumed += 1
+            token, reason = item.group(1), item.group(2).strip()
+            rule = _rule_for(token)
+            if rule is None:
+                findings.append(
+                    Finding(
+                        RULES["SL000"],
+                        path,
+                        lineno,
+                        col,
+                        f"suppression names unknown rule {token!r}",
+                    )
+                )
+                continue
+            if not reason:
+                findings.append(
+                    Finding(
+                        RULES["SL000"],
+                        path,
+                        lineno,
+                        col,
+                        f"suppression of {rule.name} carries no justification",
+                    )
+                )
+                continue
+            entry[rule.id] = reason
+        if consumed == 0:
+            findings.append(
+                Finding(
+                    RULES["SL000"],
+                    path,
+                    lineno,
+                    col,
+                    "suppression must be `disable=RULE(reason)`",
+                )
+            )
+        if entry:
+            by_line[lineno] = entry
+    return by_line, findings
+
+
+# --------------------------------------------------------------------------
+# name resolution
+
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_ENTROPY = {"uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom"}
+
+#: numpy.random members that *construct* seeded generators (allowed).
+_NUMPY_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+
+class _Imports(ast.NodeVisitor):
+    """Resolve local names to dotted module paths."""
+
+    def __init__(self) -> None:
+        #: local alias -> module path (``import numpy as np`` -> np: numpy)
+        self.aliases: dict[str, str] = {}
+        #: local name -> dotted member (``from time import time`` ->
+        #: time: time.time; ``from datetime import datetime`` ->
+        #: datetime: datetime.datetime)
+        self.members: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports are in-repo: never stdlib hazards
+        for alias in node.names:
+            self.members[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path of an attribute/name chain, or None."""
+        if isinstance(node, ast.Name):
+            return self.members.get(node.id) or self.aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+def _walk_same_function(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, (ast.Yield, ast.YieldFrom))
+        for child in _walk_same_function(node)
+    )
+
+
+def _body_contains_yield(stmts: Iterable[ast.stmt]) -> bool:
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Yield, ast.YieldFrom)):
+            return True
+        if _contains_yield(stmt):
+            return True
+    return False
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+def _catches(handler_type: ast.expr | None, names: set[str]) -> bool:
+    """Does an except clause's type expression mention one of ``names``?"""
+    if handler_type is None:
+        return "BaseException" in names  # bare except catches everything
+    types = (
+        handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    )
+    for type_expr in types:
+        if isinstance(type_expr, ast.Name) and type_expr.id in names:
+            return True
+        if isinstance(type_expr, ast.Attribute) and type_expr.attr in names:
+            return True
+    return False
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return _catches(handler.type, {"Exception", "BaseException"})
+
+
+# --------------------------------------------------------------------------
+# the linter
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, imports: _Imports) -> None:
+        self.path = path
+        self.imports = imports
+        self.findings: list[Finding] = []
+        self._func_stack: list[str] = []
+
+    # -- helpers -------------------------------------------------------
+
+    def _flag(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                RULES[rule_id],
+                self.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                message,
+            )
+        )
+
+    def _is_builtin(self, name: str) -> bool:
+        """True if ``name`` still refers to the builtin (not an import)."""
+        return (
+            name not in self.imports.members and name not in self.imports.aliases
+        )
+
+    # -- calls ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.imports.resolve(node.func)
+        if dotted is not None:
+            if dotted in _WALL_CLOCK:
+                self._flag(
+                    "SL001",
+                    node,
+                    f"wall-clock call {dotted}() — simulated code must read "
+                    "Environment.now",
+                )
+            elif dotted == "time.sleep":
+                self._flag(
+                    "SL002",
+                    node,
+                    "time.sleep() blocks the host; yield env.timeout(delay)",
+                )
+            elif dotted.startswith("random."):
+                self._flag(
+                    "SL003",
+                    node,
+                    f"{dotted}() draws from the process-global stream; use a "
+                    "seeded numpy Generator threaded from the Session",
+                )
+            elif (
+                dotted.startswith("numpy.random.")
+                and dotted.split(".")[-1] not in _NUMPY_RANDOM_OK
+            ):
+                self._flag(
+                    "SL003",
+                    node,
+                    f"{dotted}() uses numpy's hidden global RandomState; use "
+                    "a seeded Generator",
+                )
+            elif dotted in _ENTROPY or dotted.startswith("secrets."):
+                self._flag(
+                    "SL004",
+                    node,
+                    f"{dotted}() reads OS entropy — nondeterministic across "
+                    "runs; mint identifiers from Session counters",
+                )
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name == "id" and self._is_builtin(name):
+                self._flag(
+                    "SL006",
+                    node,
+                    "id() exposes the allocator; key or order by a minted "
+                    "uid instead",
+                )
+            elif (
+                name == "hash"
+                and self._is_builtin(name)
+                and not any(f in ("__hash__", "__eq__") for f in self._func_stack)
+            ):
+                self._flag(
+                    "SL007",
+                    node,
+                    "hash() is salted per interpreter run (PYTHONHASHSEED)",
+                )
+        self.generic_visit(node)
+
+    # -- set iteration ---------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._flag(
+                "SL005",
+                node.iter,
+                "iterating a set — order varies with str-hash randomization; "
+                "sort first",
+            )
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            if _is_set_expr(gen.iter):
+                self._flag(
+                    "SL005",
+                    gen.iter,
+                    "comprehension over a set — order varies with str-hash "
+                    "randomization; sort first",
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    # -- functions -------------------------------------------------------
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node.name)
+        if _body_contains_yield(node.body):
+            self._check_generator_lifecycles(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- SL008: interrupt swallowing ------------------------------------
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if _body_contains_yield(node.body):
+            interrupt_handled = any(
+                handler.type is not None
+                and _catches(handler.type, {"Interrupt"})
+                for handler in node.handlers
+            )
+            if not interrupt_handled:
+                for handler in node.handlers:
+                    if _is_broad(handler) and not any(
+                        isinstance(child, ast.Raise)
+                        for child in _walk_same_function(handler)
+                    ):
+                        self._flag(
+                            "SL008",
+                            handler,
+                            "broad except around a yield swallows the kernel's "
+                            "Interrupt — handle Interrupt explicitly or "
+                            "re-raise",
+                        )
+        self.generic_visit(node)
+
+    # -- SL009/SL010/SL011: lifecycle rules (per generator function) ------
+
+    def _check_generator_lifecycles(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        # Map every Name usage of locals assigned from `<x>.event()`.
+        event_assigns: dict[str, ast.Assign] = {}
+        for child in _walk_same_function(func):
+            if (
+                isinstance(child, ast.Assign)
+                and len(child.targets) == 1
+                and isinstance(child.targets[0], ast.Name)
+                and isinstance(child.value, ast.Call)
+                and isinstance(child.value.func, ast.Attribute)
+                and child.value.func.attr == "event"
+                and not child.value.args
+                and not child.value.keywords
+            ):
+                event_assigns[child.targets[0].id] = child
+
+        if event_assigns:
+            yields: dict[str, ast.AST] = {}
+            escaped: set[str] = set()
+            for child in _walk_same_function(func):
+                if isinstance(child, (ast.Yield, ast.YieldFrom)):
+                    value = child.value
+                    if isinstance(value, ast.Name) and value.id in event_assigns:
+                        yields.setdefault(value.id, child)
+                        continue
+                if isinstance(child, ast.Name) and child.id in event_assigns:
+                    escaped.add(child.id)
+            # `escaped` saw *every* Name occurrence, including the
+            # assignment target and the yielded reference; an event is an
+            # orphan when those two are its only occurrences (2 uses).
+            for name, assign in event_assigns.items():
+                if name not in yields:
+                    continue
+                uses = sum(
+                    1
+                    for child in _walk_same_function(func)
+                    if isinstance(child, ast.Name) and child.id == name
+                )
+                if uses <= 2:
+                    self._flag(
+                        "SL009",
+                        yields[name],
+                        f"event {name!r} is yielded but never triggered and "
+                        "never escapes — this process can never resume",
+                    )
+
+        # SL010: expression statements discarding a fresh event.
+        for child in _walk_same_function(func):
+            if (
+                isinstance(child, ast.Expr)
+                and isinstance(child.value, ast.Call)
+                and isinstance(child.value.func, ast.Attribute)
+                and child.value.func.attr in ("timeout", "event")
+            ):
+                self._flag(
+                    "SL010",
+                    child,
+                    f"result of .{child.value.func.attr}() is discarded — the "
+                    "event is scheduled (or created) with no possible consumer",
+                )
+
+        # SL011: .request() outside `with`, in a function that never
+        # releases or cancels anything.
+        with_contexts: set[ast.Call] = set()  # AST nodes hash by identity
+        for child in _walk_same_function(func):
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        with_contexts.add(expr)
+        releases = any(
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in ("release", "cancel")
+            for child in _walk_same_function(func)
+        )
+        if not releases:
+            for child in _walk_same_function(func):
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "request"
+                    and child not in with_contexts
+                ):
+                    self._flag(
+                        "SL011",
+                        child,
+                        ".request() outside `with` in a function that never "
+                        "calls release()/cancel() — the slot leaks until "
+                        "process exit",
+                    )
+
+
+# --------------------------------------------------------------------------
+# public API
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one source string; returns all findings, suppressed ones marked."""
+    suppressions, findings = _parse_suppressions(source, path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append(
+            Finding(
+                RULES["SL000"],
+                path,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                f"file does not parse: {exc.msg}",
+            )
+        )
+        return findings
+    imports = _Imports()
+    imports.visit(tree)
+    linter = _Linter(path, imports)
+    linter.visit(tree)
+    findings.extend(linter.findings)
+    for finding in findings:
+        if finding.rule.id == "SL000":
+            continue  # suppression hygiene findings cannot be suppressed
+        reason = suppressions.get(finding.line, {}).get(finding.rule.id)
+        if reason is not None:
+            finding.suppressed = True
+            finding.justification = reason
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule.id))
+    return findings
+
+
+def lint_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+@dataclass(slots=True)
+class Report:
+    """Aggregate result of linting a file tree."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def format_text(self, show_suppressed: bool = False) -> str:
+        lines = [f.format() for f in self.unsuppressed]
+        if show_suppressed:
+            lines.extend(f.format() for f in self.suppressed)
+        lines.append(
+            f"simlint: {self.files_scanned} files, "
+            f"{len(self.unsuppressed)} findings, "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        return json.dumps(
+            {
+                "files_scanned": self.files_scanned,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+def lint_paths(paths: Iterable[str]) -> Report:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    report = Report()
+    for path in _iter_python_files(paths):
+        report.files_scanned += 1
+        report.findings.extend(lint_file(path))
+    return report
+
+
+def main(
+    paths: Iterable[str],
+    fmt: str = "text",
+    show_suppressed: bool = False,
+    stream=sys.stdout,
+) -> int:
+    """Entry point behind ``python -m repro lint``; returns the exit code."""
+    report = lint_paths(paths)
+    if fmt == "json":
+        print(report.format_json(), file=stream)
+    else:
+        print(report.format_text(show_suppressed=show_suppressed), file=stream)
+    return 1 if report.unsuppressed else 0

@@ -19,6 +19,15 @@ from .core import (
     SimulationError,
     StopSimulation,
     Timeout,
+    default_sanitize,
+    set_default_sanitize,
+)
+from .sanitizer import (
+    KernelSanitizer,
+    SanitizerError,
+    SanitizerFinding,
+    SharedDict,
+    drain_spontaneous_findings,
 )
 from .events import (
     AllOf,
@@ -40,6 +49,13 @@ __all__ = [
     "SimulationError",
     "StopSimulation",
     "Timeout",
+    "default_sanitize",
+    "set_default_sanitize",
+    "KernelSanitizer",
+    "SanitizerError",
+    "SanitizerFinding",
+    "SharedDict",
+    "drain_spontaneous_findings",
     "AllOf",
     "AnyOf",
     "Condition",

@@ -31,8 +31,12 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import os
 from collections.abc import Generator
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sanitizer import KernelSanitizer, SanitizerFinding, SharedDict
 
 __all__ = [
     "Environment",
@@ -45,7 +49,34 @@ __all__ = [
     "PENDING",
     "URGENT",
     "NORMAL",
+    "set_default_sanitize",
+    "default_sanitize",
 ]
+
+#: Process-wide default for ``Environment(sanitize=None)``.  ``None``
+#: defers to the ``REPRO_SANITIZE`` environment variable; the test suite
+#: flips this to True so every Environment any test builds runs with
+#: the kernel sanitizers attached.
+_DEFAULT_SANITIZE: bool | None = None
+
+
+def set_default_sanitize(enabled: bool | None) -> bool | None:
+    """Set the process-wide sanitize default; returns the previous value."""
+    global _DEFAULT_SANITIZE
+    previous, _DEFAULT_SANITIZE = _DEFAULT_SANITIZE, enabled
+    return previous
+
+
+def default_sanitize() -> bool:
+    """Effective default: :func:`set_default_sanitize` > ``REPRO_SANITIZE``."""
+    if _DEFAULT_SANITIZE is not None:
+        return _DEFAULT_SANITIZE
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 #: Sentinel for an event value that has not been produced yet.
 PENDING = object()
@@ -239,6 +270,8 @@ class Process(Event):
         #: The event this process currently waits on (None if running).
         self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
+        if env._sanitizer is not None:
+            env._sanitizer.on_process_start(self)
         Initialize(env, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -328,6 +361,9 @@ class Process(Event):
                 event._defused = True
 
         env._active_process = None
+        if self._value is not PENDING and env._sanitizer is not None:
+            # The generator terminated in this resume.
+            env._sanitizer.on_process_exit(self)
 
 
 class Environment:
@@ -337,13 +373,28 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulated clock.
+    sanitize:
+        Attach the runtime :class:`~repro.sim.sanitizer.KernelSanitizer`
+        (event-leak, deadlock, resource-leak, and shared-dict-race
+        detection).  ``None`` (the default) defers to
+        :func:`set_default_sanitize` and the ``REPRO_SANITIZE``
+        environment variable.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self, initial_time: float = 0.0, sanitize: bool | None = None
+    ) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Process | None = None
+        if sanitize is None:
+            sanitize = default_sanitize()
+        self._sanitizer: "KernelSanitizer | None" = None
+        if sanitize:
+            from .sanitizer import KernelSanitizer
+
+            self._sanitizer = KernelSanitizer(self)
         #: Kernel counters — cheap integers updated on the hot path so
         #: perf benchmarks can observe scheduling behaviour.
         self.events_scheduled = 0
@@ -389,6 +440,49 @@ class Environment:
         if length > self.max_waiter_queue:
             self.max_waiter_queue = length
 
+    # -- sanitizers ----------------------------------------------------
+
+    @property
+    def sanitizer(self) -> "KernelSanitizer | None":
+        """The attached runtime sanitizer, if ``sanitize`` was enabled."""
+        return self._sanitizer
+
+    def shared_dict(self, name: str) -> "SharedDict | dict":
+        """A mapping opted in to write-between-yields race detection.
+
+        Returns an instrumented :class:`~repro.sim.sanitizer.SharedDict`
+        when the sanitizer is attached, otherwise a plain dict — callers
+        use it exactly like a dict either way.
+        """
+        if self._sanitizer is None:
+            return {}
+        from .sanitizer import SharedDict
+
+        return SharedDict(self, name)
+
+    def sanitize_check(self, strict: bool = True) -> "list[SanitizerFinding]":
+        """Teardown check: report every sanitizer finding for this run.
+
+        Combines the spontaneous findings (resource leaks, shared-dict
+        races) with the teardown analyses — events still scheduled but
+        never executed, and processes blocked with no event that could
+        ever wake them.  Call it when the run is *over*; mid-run, heap
+        remnants and parked processes are normal.
+
+        With ``strict`` (the default) a non-empty report raises
+        :class:`~repro.sim.sanitizer.SanitizerError`; otherwise the
+        findings are returned.  A no-op returning ``[]`` when the
+        environment was built without ``sanitize``.
+        """
+        if self._sanitizer is None:
+            return []
+        findings = self._sanitizer.check()
+        if strict and findings:
+            from .sanitizer import SanitizerError
+
+            raise SanitizerError(findings)
+        return findings
+
     # -- factories ----------------------------------------------------
 
     def event(self) -> Event:
@@ -414,6 +508,8 @@ class Environment:
         heapq.heappush(queue, (self._now + delay, priority, self._eid, event))
         if len(queue) > self.peak_heap_size:
             self.peak_heap_size = len(queue)
+        if self._sanitizer is not None:
+            self._sanitizer.on_schedule(self._eid, event)
 
     def step(self) -> None:
         """Process the single next event (no-op for tombstones).
@@ -425,8 +521,10 @@ class Environment:
         """
         if not self._queue:
             raise SimulationError("no scheduled events")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
+        when, _prio, eid, event = heapq.heappop(self._queue)
         self._now = when
+        if self._sanitizer is not None:
+            self._sanitizer.on_consume(eid)
         callbacks = event.callbacks
         if callbacks is None:
             # Dismissed via cancel_scheduled(): skip without executing.

@@ -101,6 +101,8 @@ class Resource:
     def _queue_request(self, request: Request) -> None:
         self._waiting.append(request)
         self.env._note_waiters(len(self._waiting))
+        if self.env._sanitizer is not None:
+            self.env._sanitizer.on_request(request)
 
     def _next_request(self) -> Request | None:
         waiting = self._waiting
@@ -118,9 +120,13 @@ class Resource:
                 break
             self._pop_request()
             self._users.add(request)
+            if self.env._sanitizer is not None:
+                self.env._sanitizer.on_grant(request)
             request.succeed(priority=NORMAL)
 
     def _cancel(self, request: Request) -> None:
+        if self.env._sanitizer is not None:
+            self.env._sanitizer.on_release(request)
         if request in self._users:
             self._users.discard(request)
             self._trigger_requests()
@@ -167,6 +173,8 @@ class PriorityResource(Resource):
         assert isinstance(request, PriorityRequest)
         heapq.heappush(self._heap, request)
         self.env._note_waiters(len(self._heap))
+        if self.env._sanitizer is not None:
+            self.env._sanitizer.on_request(request)
 
     def _next_request(self) -> Request | None:
         heap = self._heap

@@ -77,10 +77,14 @@ class SomaServiceModel(ServiceModel):
     def __init__(self, session: "Session", config: SomaConfig) -> None:
         self.session = session
         self.config = config
-        self.servers: dict[str, RPCServer] = {}
-        self.stores: dict[str, NamespaceStore] = {
-            ns: NamespaceStore(ns) for ns in config.namespaces
-        }
+        # Namespace maps are written by the service process and read by
+        # every monitor/client process; opted in to the kernel's
+        # write-between-yields race detection under sanitize=True.
+        env = session.env
+        self.servers: "dict[str, RPCServer]" = env.shared_dict("soma.servers")
+        self.stores: "dict[str, NamespaceStore]" = env.shared_dict("soma.stores")
+        for ns in config.namespaces:
+            self.stores[ns] = NamespaceStore(ns)
         self.publishes = 0
         self.started_at: float | None = None
 

@@ -1,10 +1,41 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+The whole suite runs with the kernel sanitizers armed
+(``Environment(sanitize=True)`` for every environment any test builds),
+so each existing integration/chaos test doubles as a sanitizer test.
+Spontaneous findings — resource leaks and shared-dict races, which are
+recorded the instant they happen — fail the test that produced them
+unless it opts in with ``@pytest.mark.allow_sanitizer_findings`` (the
+fixtures that deliberately trigger sanitizers use that marker).
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.sim import Environment
+from repro.sim import Environment, set_default_sanitize
+from repro.sim.sanitizer import drain_spontaneous_findings
+
+
+def pytest_configure(config) -> None:
+    set_default_sanitize(True)
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_guard(request):
+    """Fail any test whose simulated runs leak resources or race."""
+    drain_spontaneous_findings()
+    yield
+    findings = drain_spontaneous_findings()
+    if request.node.get_closest_marker("allow_sanitizer_findings"):
+        return
+    if findings:
+        report = "\n".join(f"  - {f.format()}" for f in findings)
+        pytest.fail(
+            f"kernel sanitizer recorded {len(findings)} finding(s) during "
+            f"this test:\n{report}",
+            pytrace=False,
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,429 @@
+"""simlint: every rule must fire on a known-bad fixture and stay quiet
+on the idiomatic counterpart — and the repository itself must lint clean."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+from repro.sanitize import simlint
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "src", "repro"
+)
+
+
+def findings_for(source: str):
+    return [
+        f
+        for f in simlint.lint_source(textwrap.dedent(source), "fixture.py")
+        if not f.suppressed
+    ]
+
+
+def rule_ids(source: str) -> set[str]:
+    return {f.rule.id for f in findings_for(source)}
+
+
+# -- SL001 wall-clock ------------------------------------------------------
+
+
+def test_wall_clock_flagged():
+    assert "SL001" in rule_ids(
+        """
+        import time
+        def f():
+            return time.time()
+        """
+    )
+
+
+def test_wall_clock_from_import_and_datetime():
+    src = """
+        from time import perf_counter
+        from datetime import datetime
+        def f():
+            return perf_counter(), datetime.now()
+        """
+    assert [f.rule.id for f in findings_for(src)] == ["SL001", "SL001"]
+
+
+def test_env_now_not_flagged():
+    assert not findings_for(
+        """
+        def f(env):
+            return env.now
+        """
+    )
+
+
+# -- SL002 real-sleep ------------------------------------------------------
+
+
+def test_time_sleep_flagged():
+    assert "SL002" in rule_ids(
+        """
+        import time
+        def f():
+            time.sleep(0.1)
+        """
+    )
+
+
+# -- SL003 global-random ---------------------------------------------------
+
+
+def test_global_random_flagged():
+    assert "SL003" in rule_ids(
+        """
+        import random
+        def f():
+            return random.randint(1, 6)
+        """
+    )
+
+
+def test_numpy_global_random_flagged_but_generator_ok():
+    src = """
+        import numpy as np
+        def bad():
+            return np.random.random()
+        def good():
+            rng = np.random.default_rng(7)
+            return rng.random()
+        """
+    found = findings_for(src)
+    assert [f.rule.id for f in found] == ["SL003"]
+    assert found[0].line == 4
+
+
+def test_seeded_generator_method_not_flagged():
+    assert not findings_for(
+        """
+        def f(rng):
+            return rng.normal(0.0, 1.0)
+        """
+    )
+
+
+# -- SL004 nondet-entropy --------------------------------------------------
+
+
+def test_uuid4_urandom_secrets_flagged():
+    src = """
+        import uuid, os, secrets
+        def f():
+            return uuid.uuid4(), os.urandom(8), secrets.token_hex(4)
+        """
+    assert [f.rule.id for f in findings_for(src)] == ["SL004"] * 3
+
+
+# -- SL005 set-iteration ---------------------------------------------------
+
+
+def test_set_iteration_flagged():
+    src = """
+        def f(items):
+            for item in set(items):
+                pass
+            return [x for x in {1, 2, 3}]
+        """
+    assert [f.rule.id for f in findings_for(src)] == ["SL005", "SL005"]
+
+
+def test_sorted_set_not_flagged():
+    assert not findings_for(
+        """
+        def f(items):
+            for item in sorted(set(items)):
+                pass
+        """
+    )
+
+
+# -- SL006 / SL007 id and hash ordering ------------------------------------
+
+
+def test_id_call_flagged():
+    assert "SL006" in rule_ids(
+        """
+        def f(obj):
+            return {id(obj): obj}
+        """
+    )
+
+
+def test_hash_flagged_outside_dunder_hash():
+    src = """
+        def f(name):
+            return hash(name)
+        class C:
+            def __hash__(self):
+                return hash(self.name)
+        """
+    found = findings_for(src)
+    assert [f.rule.id for f in found] == ["SL007"]
+    assert found[0].line == 3
+
+
+# -- SL008 swallow-interrupt -----------------------------------------------
+
+
+def test_broad_except_around_yield_flagged():
+    assert "SL008" in rule_ids(
+        """
+        def proc(env):
+            try:
+                yield env.timeout(1)
+            except Exception:
+                pass
+        """
+    )
+
+
+def test_bare_except_flagged_too():
+    assert "SL008" in rule_ids(
+        """
+        def proc(env):
+            try:
+                yield env.timeout(1)
+            except:
+                pass
+        """
+    )
+
+
+def test_explicit_interrupt_handler_passes():
+    assert not findings_for(
+        """
+        from repro.sim import Interrupt
+        def proc(env):
+            try:
+                yield env.timeout(1)
+            except Interrupt:
+                raise
+            except Exception:
+                pass
+        """
+    )
+
+
+def test_reraising_broad_handler_passes():
+    assert not findings_for(
+        """
+        def proc(env):
+            try:
+                yield env.timeout(1)
+            except Exception:
+                cleanup = True
+                raise
+        """
+    )
+
+
+def test_broad_except_without_yield_not_flagged():
+    assert not findings_for(
+        """
+        def proc(env):
+            try:
+                value = compute()
+            except Exception:
+                value = None
+            yield env.timeout(1)
+        """
+    )
+
+
+# -- SL009 orphan-event ----------------------------------------------------
+
+
+def test_orphan_event_flagged():
+    assert "SL009" in rule_ids(
+        """
+        def proc(env):
+            ev = env.event()
+            yield ev
+        """
+    )
+
+
+def test_escaping_event_not_flagged():
+    assert not findings_for(
+        """
+        def proc(env, registry):
+            ev = env.event()
+            registry.append(ev)
+            yield ev
+        """
+    )
+
+
+# -- SL010 dropped-event ---------------------------------------------------
+
+
+def test_discarded_timeout_flagged():
+    assert "SL010" in rule_ids(
+        """
+        def proc(env):
+            env.timeout(5)
+            yield env.timeout(1)
+        """
+    )
+
+
+def test_yielded_timeout_not_flagged():
+    assert not findings_for(
+        """
+        def proc(env):
+            yield env.timeout(5)
+        """
+    )
+
+
+# -- SL011 raw-request -----------------------------------------------------
+
+
+def test_raw_request_flagged():
+    assert "SL011" in rule_ids(
+        """
+        def proc(env, res):
+            req = res.request()
+            yield req
+            yield env.timeout(1)
+        """
+    )
+
+
+def test_with_request_passes():
+    assert not findings_for(
+        """
+        def proc(env, res):
+            with res.request() as req:
+                yield req
+        """
+    )
+
+
+def test_released_request_passes():
+    assert not findings_for(
+        """
+        def proc(env, res):
+            req = res.request()
+            yield req
+            res.release(req)
+        """
+    )
+
+
+# -- suppressions ----------------------------------------------------------
+
+
+def test_suppression_with_reason_suppresses():
+    src = textwrap.dedent(
+        """
+        import time
+        def f():
+            return time.time()  # simlint: disable=wall-clock(host bench timing)
+        """
+    )
+    findings = simlint.lint_source(src, "fixture.py")
+    assert len(findings) == 1
+    assert findings[0].suppressed
+    assert findings[0].justification == "host bench timing"
+
+
+def test_suppression_by_rule_id():
+    src = """
+        import time
+        def f():
+            return time.time()  # simlint: disable=SL001(host bench timing)
+        """
+    assert not findings_for(src)
+
+
+def test_suppression_without_reason_is_a_finding():
+    src = """
+        import time
+        def f():
+            return time.time()  # simlint: disable=wall-clock()
+        """
+    assert rule_ids(src) == {"SL000", "SL001"}
+
+
+def test_suppression_of_unknown_rule_is_a_finding():
+    src = """
+        def f():
+            return 1  # simlint: disable=made-up-rule(because)
+        """
+    assert rule_ids(src) == {"SL000"}
+
+
+def test_suppression_inside_string_literal_ignored():
+    assert not findings_for(
+        '''
+        HELP = "suppress with `# simlint: disable=RULE(reason)`"
+        '''
+    )
+
+
+def test_suppression_on_other_line_does_not_leak():
+    src = """
+        import time
+        # simlint: disable=wall-clock(wrong line)
+        def f():
+            return time.time()
+        """
+    assert "SL001" in rule_ids(src)
+
+
+# -- report / CLI ----------------------------------------------------------
+
+
+def test_syntax_error_reported_not_raised():
+    findings = simlint.lint_source("def broken(:\n", "oops.py")
+    assert [f.rule.id for f in findings] == ["SL000"]
+
+
+def test_report_json_roundtrip(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    report = simlint.lint_paths([str(tmp_path)])
+    assert report.files_scanned == 1
+    payload = json.loads(report.format_json())
+    assert payload["findings"][0]["rule"] == "SL001"
+    assert "wall-clock" in report.format_text()
+
+
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    bad.write_text(
+        "import time\n"
+        "t = time.time()  # simlint: disable=wall-clock(fixture)\n"
+    )
+    assert main(["lint", str(bad)]) == 0
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "swallow-interrupt" in out
+
+
+def test_every_rule_has_id_name_and_rationale():
+    assert len(simlint.RULES) == 12  # SL000..SL011
+    for rule in simlint.RULES.values():
+        assert rule.id.startswith("SL")
+        assert rule.name and rule.summary and rule.rationale
+
+
+def test_repository_lints_clean():
+    """The acceptance gate: zero unsuppressed findings over src/repro,
+    and every suppression that does exist carries a justification."""
+    report = simlint.lint_paths([SRC_ROOT])
+    assert report.files_scanned > 50
+    unsuppressed = report.unsuppressed
+    assert unsuppressed == [], "\n".join(f.format() for f in unsuppressed)
+    for finding in report.suppressed:
+        assert finding.justification
