@@ -1,6 +1,7 @@
 """Ablations of the adaptive prototype (paper Sec 6 future work).
 
-Two ablations of decisions DESIGN.md calls out:
+Two ablations of decisions DESIGN.md calls out (the run logic lives in
+:mod:`repro.experiments.ablations`, shared with the sweep engine):
 
 1. **Rank tuning** (Sec 4.1): probe each MPI configuration once, let
    the :class:`RankTuningPolicy` pick one, run the remaining instances
@@ -10,129 +11,32 @@ Two ablations of decisions DESIGN.md calls out:
    first-fit — for a contention-heavy bag of tasks.
 """
 
-from conftest import cached
+from conftest import cell_payload
 
-from repro.adaptive import AdaptiveController, RankTuningPolicy
-from repro.analysis import render_table
-from repro.platform import summit_like
-from repro.rp import Client, ComputeModel, PilotDescription, Session, TaskDescription
-from repro.soma import SomaConfig, WORKFLOW, HARDWARE, deploy_soma
-from repro.workloads import OpenFOAMParams, openfoam_task_description
-
-PARAMS = OpenFOAMParams()
-RANKS = (20, 41, 82, 164)
-INSTANCES = 8
-
-
-def _run_rank_tuning(adaptive: bool, seed: int = 11) -> tuple[float, int]:
-    session = Session(cluster_spec=summit_like(6), seed=seed)
-    client = Client(session)
-    env = session.env
-
-    def main(env):
-        pilot = yield from client.submit_pilot(
-            PilotDescription(nodes=5, agent_nodes=1)
-        )
-        deployment = yield from deploy_soma(
-            client,
-            pilot,
-            SomaConfig(namespaces=(WORKFLOW, HARDWARE), monitors=("proc",)),
-        )
-        controller = AdaptiveController(
-            client, deployment, rank_policy=RankTuningPolicy(0.35)
-        )
-        start = env.now
-        probes = client.submit_tasks(
-            [
-                openfoam_task_description(r, params=PARAMS, name=f"probe-{r}")
-                for r in RANKS
-            ]
-        )
-        yield from client.wait_tasks(probes)
-        controller.observe_tasks(probes)
-        choice = controller.recommended_ranks() if adaptive else 0
-        rest = []
-        for i in range(INSTANCES):
-            ranks = choice if adaptive else RANKS[i % len(RANKS)]
-            rest.append(
-                openfoam_task_description(ranks, params=PARAMS, name=f"r{i}")
-            )
-        tasks = client.submit_tasks(rest)
-        yield from client.wait_tasks(tasks)
-        return env.now - start, choice
-
-    makespan, choice = env.run(env.process(main(env)))
-    client.close()
-    return makespan, choice
+from repro.sweep.artifacts import (
+    PLACEMENT_SEEDS,
+    render_ablation_placement,
+    render_ablation_rank_tuning,
+)
 
 
 def test_ablation_rank_tuning(benchmark, report):
-    def regenerate():
-        adaptive, choice = cached(
-            "ablate-rank-adaptive", lambda: _run_rank_tuning(True)
-        )
-        static, _ = cached(
-            "ablate-rank-static", lambda: _run_rank_tuning(False)
-        )
-        return adaptive, static, choice
+    payloads = benchmark.pedantic(
+        lambda: {
+            key: cell_payload(key)
+            for key in ("ablation-rank-adaptive", "ablation-rank-static")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_rank_tuning", render_ablation_rank_tuning(payloads))
 
-    adaptive, static, choice = benchmark.pedantic(
-        regenerate, rounds=1, iterations=1
-    )
-    gain = (static - adaptive) / static * 100.0
-    report(
-        "ablation_rank_tuning",
-        render_table(
-            ["strategy", "makespan (s)"],
-            [
-                [f"adaptive ({choice} ranks)", f"{adaptive:.1f}"],
-                ["static (mixed)", f"{static:.1f}"],
-                ["improvement", f"{gain:.1f}%"],
-            ],
-            title="Ablation: SOMA-informed rank tuning (Sec 4.1 loop)",
-        ),
-    )
+    adaptive = payloads["ablation-rank-adaptive"]["makespan"]
+    static = payloads["ablation-rank-static"]["makespan"]
     # The tuned configuration never loses to the uninformed mix.
     assert adaptive <= static * 1.02
+    gain = (static - adaptive) / static * 100.0
     benchmark.extra_info["improvement_percent"] = round(gain, 2)
-
-
-def _run_placement(adaptive: bool, seed: int) -> float:
-    session = Session(cluster_spec=summit_like(5), seed=seed)
-    client = Client(session)
-    env = session.env
-
-    def main(env):
-        pilot = yield from client.submit_pilot(
-            PilotDescription(nodes=4, agent_nodes=1)
-        )
-        if adaptive:
-            from repro.adaptive import UtilizationAwarePlacement
-
-            client.agent.scheduler.set_node_ranker(
-                UtilizationAwarePlacement()
-            )
-        start = env.now
-        # Contention-heavy bag: memory-bound 10-rank jobs in waves.
-        tasks = client.submit_tasks(
-            [
-                TaskDescription(
-                    name=f"job{i}",
-                    model=ComputeModel(
-                        200.0, mem_intensity=0.7, demand_per_core=1.3
-                    ),
-                    ranks=10,
-                    multi_node=False,
-                )
-                for i in range(24)
-            ]
-        )
-        yield from client.wait_tasks(tasks)
-        return env.now - start
-
-    makespan = env.run(env.process(main(env)))
-    client.close()
-    return makespan
 
 
 def test_ablation_utilization_aware_placement(benchmark, report):
@@ -140,36 +44,24 @@ def test_ablation_utilization_aware_placement(benchmark, report):
     is high-variance — it helps some schedules and hurts others, which
     is exactly why the paper proposes feeding richer SOMA data into
     the decision rather than a greedy local rule."""
-    seeds = (9, 17, 23)
-
-    def regenerate():
-        rows = []
-        for seed in seeds:
-            on = cached(
-                f"ablate-place-on-{seed}", lambda s=seed: _run_placement(True, s)
+    payloads = benchmark.pedantic(
+        lambda: {
+            f"ablation-place-{label}-s{seed}": cell_payload(
+                f"ablation-place-{label}-s{seed}"
             )
-            off = cached(
-                f"ablate-place-off-{seed}",
-                lambda s=seed: _run_placement(False, s),
-            )
-            rows.append((seed, on, off))
-        return rows
-
-    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-    gains = [(off - on) / off * 100.0 for _, on, off in rows]
-    report(
-        "ablation_placement",
-        render_table(
-            ["seed", "utilization-aware (s)", "rotating first-fit (s)",
-             "gain"],
-            [
-                [seed, f"{on:.1f}", f"{off:.1f}", f"{g:+.1f}%"]
-                for (seed, on, off), g in zip(rows, gains)
-            ],
-            title="Ablation: utilization-aware placement (Sec 4.2 "
-            "suggestion) — high variance, not a uniform win",
-        ),
+            for seed in PLACEMENT_SEEDS
+            for label in ("on", "off")
+        },
+        rounds=1,
+        iterations=1,
     )
+    report("ablation_placement", render_ablation_placement(payloads))
+
+    gains = []
+    for seed in PLACEMENT_SEEDS:
+        on = payloads[f"ablation-place-on-s{seed}"]["makespan"]
+        off = payloads[f"ablation-place-off-s{seed}"]["makespan"]
+        gains.append((off - on) / off * 100.0)
     # Every run completes; the effect is schedule-dependent (that IS
     # the finding), so assert only a sane band.
     assert all(abs(g) < 30.0 for g in gains)

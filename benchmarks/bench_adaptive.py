@@ -9,54 +9,27 @@
 """
 
 import numpy as np
-from conftest import cached
+from conftest import cell_payload
 
-from repro.analysis import render_table
-from repro.experiments import (
-    DDMD_ADAPTIVE_TRAIN_COUNTS,
-    adaptive_experiment,
-    run_ddmd_experiment,
-    stage_durations,
+from repro.sweep.artifacts import (
+    FREQ_ABLATION_PERIODS,
+    render_ablation_frequency,
+    render_adaptive,
 )
 
 
 def test_adaptive_between_phase_analysis(benchmark, report):
-    def regenerate():
-        return cached(
-            "ddmd-adaptive",
-            lambda: run_ddmd_experiment(
-                adaptive_experiment(), seed=13, adaptive_analysis=True
-            ),
-        )
-
-    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-    train_times = stage_durations(result, "training")
-    analyses = result.payload["analyses"]
-    rows = []
-    for phase, count in enumerate(DDMD_ADAPTIVE_TRAIN_COUNTS):
-        headroom = analyses[phase]["headroom"]
-        rows.append(
-            [
-                phase,
-                count,
-                f"{train_times[phase]:.1f}",
-                f"{np.mean(list(headroom.values())):.2f}" if headroom else "-",
-            ]
-        )
-    report(
-        "adaptive",
-        render_table(
-            ["phase", "train tasks", "train stage (s)", "CPU headroom"],
-            rows,
-            title="Adaptive DDMD: a-priori train counts + online SOMA "
-            "analysis between phases",
-        ),
+    payload = benchmark.pedantic(
+        lambda: cell_payload("ddmd-adaptive"), rounds=1, iterations=1
     )
+    report("adaptive", render_adaptive(payload))
 
     # Parallel training shortens the training stage monotonically.
+    train_times = payload["stage_durations"]["training"]
     assert train_times[0] > train_times[1] > train_times[3]
     # The analysis ran after every phase and saw the GPU-bound truth:
     # high CPU headroom throughout.
+    analyses = payload["analyses"]
     assert len(analyses) == 4
     for analysis in analyses:
         values = list(analysis["headroom"].values())
@@ -65,36 +38,25 @@ def test_adaptive_between_phase_analysis(benchmark, report):
 
 def test_ablation_monitoring_frequency(benchmark, report):
     """Ablation: overhead vs monitoring frequency (60 / 20 / 5 s)."""
-    from repro.experiments import SCALING_B, pipeline_durations
-
-    def regenerate():
-        out = {}
-        for freq in (60.0, 20.0, 5.0):
-            exp = SCALING_B(16, "exclusive").with_updates(
-                soma_nodes=1,
-                soma_ranks_per_namespace=8,
-                monitoring_frequency=freq,
-                params=SCALING_B(16, "exclusive").params.with_updates(
-                    noise_sigma=0.02
-                ),
+    payloads = benchmark.pedantic(
+        lambda: {
+            f"freq-ablation-{freq:.0f}s": cell_payload(
+                f"freq-ablation-{freq:.0f}s"
             )
-            result = cached(
-                f"freq-ablation-{freq}",
-                lambda exp=exp: run_ddmd_experiment(exp, seed=3),
-            )
-            out[freq] = float(np.mean(pipeline_durations(result)))
-        return out
-
-    means = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-    rows = [[f"{f:.0f}", f"{m:.1f}"] for f, m in means.items()]
-    report(
-        "ablation_frequency",
-        render_table(
-            ["monitoring period (s)", "mean pipeline runtime (s)"],
-            rows,
-            title="Ablation: cost of monitoring frequency "
-            "(16 pipelines, exclusive)",
-        ),
+            for freq in FREQ_ABLATION_PERIODS
+        },
+        rounds=1,
+        iterations=1,
     )
+    report("ablation_frequency", render_ablation_frequency(payloads))
+
+    means = {
+        freq: float(
+            np.mean(
+                payloads[f"freq-ablation-{freq:.0f}s"]["pipeline_durations"]
+            )
+        )
+        for freq in FREQ_ABLATION_PERIODS
+    }
     # More frequent monitoring never makes the workflow faster.
     assert means[5.0] >= means[60.0] - 1.0

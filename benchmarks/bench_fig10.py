@@ -8,31 +8,26 @@ reduces many pipelines' runtimes but increases variance.
 """
 
 import numpy as np
-from conftest import scaling_a_run
+from conftest import cell_payload
 
-from repro.analysis import render_boxes
-from repro.experiments import pipeline_durations
+from repro.sweep.artifacts import fig10_durations, render_fig10
+
+CELLS = tuple(
+    f"scaling-a-{mode}-{n}n"
+    for n in (1, 2, 4)
+    for mode in ("shared", "exclusive")
+)
 
 
 def test_fig10_scaling_a(benchmark, report):
-    def regenerate():
-        out = {}
-        for soma_nodes in (1, 2, 4):
-            for mode in ("shared", "exclusive"):
-                result = scaling_a_run(soma_nodes, mode)
-                label = f"{mode}-{16 * soma_nodes}ranks"
-                out[label] = pipeline_durations(result)
-        return out
-
-    durations = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-    report(
-        "fig10",
-        render_boxes(
-            durations,
-            title="Fig 10: Scaling A pipeline runtimes (64 pipelines)",
-        ),
+    payloads = benchmark.pedantic(
+        lambda: {key: cell_payload(key) for key in CELLS},
+        rounds=1,
+        iterations=1,
     )
+    report("fig10", render_fig10(payloads))
 
+    durations = fig10_durations(payloads)
     # (1) Ratio has little effect: within each placement mode, means
     # across rank counts stay within a few percent of each other.
     for mode in ("shared", "exclusive"):

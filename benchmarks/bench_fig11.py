@@ -16,71 +16,37 @@ By default this bench runs m = 64 and 128; set REPRO_FULL_SCALE=1 to
 add 256 and 512 (several minutes of simulation).
 """
 
-from conftest import FULL_SCALE, scaling_b_run
+from conftest import FULL_SCALE, cell_payload
 
-from repro.analysis import compare_runtimes, fmt, fmt_percent, render_boxes, render_table
-from repro.experiments import pipeline_durations
+from repro.sweep.artifacts import (
+    SCALING_B_CONFIGS,
+    fig11_data,
+    fig11_overhead_rows,
+    render_fig11,
+    scaling_b_key,
+)
 
 SCALES = (64, 128, 256, 512) if FULL_SCALE else (64, 128)
-CONFIGS = (
-    ("none", False),
-    ("shared", False),
-    ("exclusive", False),
-    ("shared", True),
-    ("exclusive", True),
-)
 
 
 def test_fig11_scaling_b(benchmark, report):
-    def regenerate():
-        data: dict[int, dict[str, list[float]]] = {}
-        for pipelines in SCALES:
-            per_config = {}
-            for mode, frequent in CONFIGS:
-                label = ("frequent-" if frequent else "") + mode
-                result = scaling_b_run(pipelines, mode, frequent=frequent)
-                per_config[label] = pipeline_durations(result)
-            data[pipelines] = per_config
-        return data
-
-    data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-
-    sections = []
-    overhead_rows = []
-    for pipelines, per_config in data.items():
-        sections.append(
-            render_boxes(
-                per_config,
-                title=f"Fig 11: Scaling B, {pipelines} application nodes",
+    payloads = benchmark.pedantic(
+        lambda: {
+            scaling_b_key(pipelines, mode, frequent): cell_payload(
+                scaling_b_key(pipelines, mode, frequent)
             )
-        )
-        baseline = per_config["none"]
-        monitored = {k: v for k, v in per_config.items() if k != "none"}
-        for result in compare_runtimes(baseline, monitored):
-            overhead_rows.append(
-                [
-                    pipelines,
-                    result.config,
-                    fmt_percent(result.overhead_percent),
-                    fmt(result.config_mean, ".1f"),
-                    fmt(result.baseline_mean, ".1f"),
-                ]
-            )
-    sections.append(
-        render_table(
-            ["app nodes", "config", "overhead", "mean (s)", "baseline (s)"],
-            overhead_rows,
-            title="overhead vs baseline (paper: frequent-exclusive "
-            "+1.4/+3.4/+3.2/+4.6% at 64/128/256/512; shared "
-            "-6.5/-3.8/-1.1/+1.8%)",
-        )
+            for pipelines in SCALES
+            for mode, frequent in SCALING_B_CONFIGS
+        },
+        rounds=1,
+        iterations=1,
     )
-    report("fig11", "\n\n".join(sections))
+    report("fig11", render_fig11(payloads, SCALES))
 
     # Shape checks (robust to run-to-run noise):
     overhead = {
-        (rows[0], rows[1]): float(rows[2].rstrip("%"))
-        for rows in overhead_rows
+        (row[0], row[1]): float(row[2].rstrip("%"))
+        for row in fig11_overhead_rows(fig11_data(payloads, SCALES))
     }
     largest = max(SCALES)
     # Frequent-exclusive is the worst monitored configuration at the

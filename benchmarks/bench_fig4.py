@@ -7,26 +7,21 @@ little beyond.
 """
 
 import numpy as np
-from conftest import openfoam_overload_run
+from conftest import cell_payload
 
-from repro.analysis import render_boxes
-from repro.experiments import execution_times_by_ranks
+from repro.sweep.artifacts import render_fig4
 
 
 def test_fig4_strong_scaling(benchmark, report):
-    def regenerate():
-        result = openfoam_overload_run()
-        return execution_times_by_ranks(result)
-
-    times = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-    table = render_boxes(
-        {f"{ranks} ranks": values for ranks, values in sorted(times.items())},
-        title="Fig 4: OpenFOAM task execution time vs MPI ranks "
-        "(20 instances each, overloaded run)",
+    payload = benchmark.pedantic(
+        lambda: cell_payload("openfoam-overload"), rounds=1, iterations=1
     )
-    report("fig4", table)
+    report("fig4", render_fig4(payload))
 
-    means = {ranks: float(np.mean(v)) for ranks, v in times.items()}
+    means = {
+        int(ranks): float(np.mean(values))
+        for ranks, values in payload["exec_times_by_ranks"].items()
+    }
     # Shape: monotone decreasing over the paper's configurations...
     assert means[20] > means[41] > means[82] > means[164]
     # ...with diminishing returns past two nodes (82 ranks).

@@ -6,50 +6,18 @@ large portion of time for each rank is spent in MPI_Recv() and
 MPI_Waitall()".
 """
 
-from conftest import openfoam_tuning_run
+from conftest import cell_payload
 
-from repro.analysis import render_table
-from repro.soma import PERFORMANCE, load_imbalance, rank_region_breakdown
+from repro.sweep.artifacts import render_fig5
 
 
 def test_fig5_tau_mpi_breakdown(benchmark, report):
-    def regenerate():
-        result = openfoam_tuning_run()
-        task = result.payload["by_ranks"][20][0]
-        store = result.deployment.store(PERFORMANCE)
-        return (
-            rank_region_breakdown(store, task.uid),
-            load_imbalance(store, task.uid),
-            task.uid,
-        )
-
-    breakdown, imbalance, uid = benchmark.pedantic(
-        regenerate, rounds=1, iterations=1
+    payload = benchmark.pedantic(
+        lambda: cell_payload("openfoam-tuning"), rounds=1, iterations=1
     )
-    rows = []
-    for rank in sorted(breakdown):
-        regions = breakdown[rank]
-        compute = sum(
-            v for k, v in regions.items() if not k.startswith("MPI_")
-        )
-        rows.append(
-            [
-                rank,
-                f"{compute:.1f}",
-                f"{regions['MPI_Recv']:.1f}",
-                f"{regions['MPI_Waitall']:.1f}",
-                f"{regions['MPI_Allreduce']:.1f}",
-                f"{regions['MPI_Isend']:.1f}",
-            ]
-        )
-    table = render_table(
-        ["rank", "compute", "MPI_Recv", "MPI_Waitall", "MPI_Allreduce",
-         "MPI_Isend"],
-        rows,
-        title=f"Fig 5: TAU profile of {uid} (seconds per region per rank)",
-    )
-    report("fig5", table)
+    report("fig5", render_fig5(payload))
 
+    breakdown = payload["tau"]["breakdown"]
     assert len(breakdown) == 20
     # Recv + Waitall dominate the MPI time on (almost) every rank.
     dominated = 0
@@ -59,5 +27,7 @@ def test_fig5_tau_mpi_breakdown(benchmark, report):
         if wait > other:
             dominated += 1
     assert dominated >= 18
-    assert imbalance >= 1.0
-    benchmark.extra_info["load_imbalance"] = round(imbalance, 3)
+    assert payload["tau"]["imbalance"] >= 1.0
+    benchmark.extra_info["load_imbalance"] = round(
+        payload["tau"]["imbalance"], 3
+    )

@@ -8,50 +8,24 @@ memory-bandwidth self-contention; the same mechanism produces the
 trend here.
 """
 
-import numpy as np
-from conftest import openfoam_overload_run
+from conftest import cell_payload
 
-from repro.analysis import render_boxes
-from repro.experiments import execution_times_by_spread
-
-
-def _trend(groups: dict[int, list[float]]) -> float:
-    """Correlation between node count and execution time."""
-    xs, ys = [], []
-    for nodes, values in groups.items():
-        xs.extend([nodes] * len(values))
-        ys.extend(values)
-    if len(set(xs)) < 2:
-        return 0.0
-    return float(np.corrcoef(xs, ys)[0, 1])
+from repro.sweep.artifacts import fig6_spreads, fig6_trend, render_fig6
 
 
 def test_fig6_spread_vs_packed(benchmark, report):
-    def regenerate():
-        result = openfoam_overload_run()
-        return {
-            ranks: execution_times_by_spread(result, ranks)
-            for ranks in (20, 41)
-        }
+    payload = benchmark.pedantic(
+        lambda: cell_payload("openfoam-overload"), rounds=1, iterations=1
+    )
+    report("fig6", render_fig6(payload))
 
-    spreads = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-    sections = []
-    for ranks, groups in spreads.items():
-        sections.append(
-            render_boxes(
-                {f"{n} node(s)": v for n, v in groups.items()},
-                title=f"Fig 6: {ranks}-rank tasks by node spread",
-            )
-        )
-        sections.append(f"trend (corr nodes vs time): {_trend(groups):+.2f}")
-    report("fig6", "\n\n".join(sections))
-
+    spreads = fig6_spreads(payload)
     # Both configurations produced placements with >1 spread value.
     for ranks, groups in spreads.items():
         assert len(groups) >= 2, f"{ranks}-rank tasks all placed identically"
     # Spreading helps the 20-rank tasks (the paper's main observation)
     # and does not hurt the 41-rank tasks.
-    assert _trend(spreads[20]) < 0.0
-    assert _trend(spreads[41]) < 0.25
-    benchmark.extra_info["trend_20"] = round(_trend(spreads[20]), 2)
-    benchmark.extra_info["trend_41"] = round(_trend(spreads[41]), 2)
+    assert fig6_trend(spreads[20]) < 0.0
+    assert fig6_trend(spreads[41]) < 0.25
+    benchmark.extra_info["trend_20"] = round(fig6_trend(spreads[20]), 2)
+    benchmark.extra_info["trend_41"] = round(fig6_trend(spreads[41]), 2)

@@ -6,58 +6,30 @@ checks the correlation the paper points at: utilization rises when a
 task's ranks start on a node.
 """
 
-from conftest import openfoam_tuning_run
+from conftest import cell_payload
 
-from repro.analysis import render_series
-from repro.soma import (
-    HARDWARE,
-    WORKFLOW,
-    cpu_utilization_series,
-    task_state_observations,
-)
+from repro.sweep.artifacts import render_fig7
 
 
 def test_fig7_cpu_utilization_with_markers(benchmark, report):
-    def regenerate():
-        result = openfoam_tuning_run()
-        series = cpu_utilization_series(result.deployment.store(HARDWARE))
-        markers = task_state_observations(
-            result.deployment.store(WORKFLOW), event="AGENT_EXECUTING"
-        )
-        app_uids = {t.uid for t in result.application_tasks}
-        starts = [(t, uid) for t, uid in markers if uid in app_uids]
-        return result, series, starts
-
-    result, series, starts = benchmark.pedantic(
-        regenerate, rounds=1, iterations=1
+    payload = benchmark.pedantic(
+        lambda: cell_payload("openfoam-tuning"), rounds=1, iterations=1
     )
-    lines = ["Fig 7: CPU utilization per compute node (30 s samples)"]
-    for host, points in sorted(series.items()):
-        lines.append(
-            render_series(
-                f"  {host}",
-                [p.time for p in points],
-                [p.cpu_utilization for p in points],
-            )
-        )
-    lines.append(
-        "task starts observed by the RP monitor (orange dots): "
-        + ", ".join(f"{uid}@{t:.0f}s" for t, uid in starts)
-    )
-    report("fig7", "\n".join(lines))
+    report("fig7", render_fig7(payload))
 
+    series = payload["utilization_series"]
     # One line per compute node, all samples in [0, 1].
-    pilot = result.client.pilot
-    assert set(series) == {n.name for n in pilot.compute_nodes}
+    assert set(series) == set(payload["compute_hosts"])
     for points in series.values():
-        assert all(0.0 <= p.cpu_utilization <= 1.0 for p in points)
+        assert all(0.0 <= cpu <= 1.0 for _, cpu, _ in points)
     # Every application task's start was observed.
-    assert len(starts) >= len(result.application_tasks)
+    starts = payload["task_starts"]
+    assert len(starts) >= payload["num_application_tasks"]
     # Utilization spikes after the first task start: the max sample on
     # some node after the first start exceeds the pre-start level.
     first_start = min(t for t, _ in starts)
     for host, points in series.items():
-        after = [p.cpu_utilization for p in points if p.time > first_start]
+        after = [cpu for t, cpu, _ in points if t > first_start]
         if after and max(after) > 0.5:
             break
     else:

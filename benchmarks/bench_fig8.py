@@ -7,66 +7,33 @@ figure: how much of the allocation was actually used, and where the
 white space (scheduling headroom) is.
 """
 
-from conftest import openfoam_overload_run, openfoam_tuning_run
+from conftest import cell_payload
 
-from repro.analysis import (
-    BOOTSTRAP,
-    RUNNING,
-    SCHEDULING,
-    build_timeline,
-    render_table,
-)
-
-
-def _summarize(result, label):
-    timeline = build_timeline(result.session, result.tasks)
-    pilot = result.client.pilot
-    compute_nodes = [n.name for n in pilot.compute_nodes]
-    compute_timeline = build_timeline(
-        result.session, result.tasks, nodes=compute_nodes
-    )
-    span = result.finished_at
-    total_core_seconds = span * 42 * len(compute_nodes)
-    running = compute_timeline.busy_core_seconds(RUNNING)
-    scheduling = compute_timeline.busy_core_seconds(SCHEDULING)
-    boot = compute_timeline.busy_core_seconds(BOOTSTRAP)
-    idle = total_core_seconds - running - scheduling - boot
-    return timeline, [
-        label,
-        f"{span:.0f}",
-        f"{100 * running / total_core_seconds:.1f}%",
-        f"{100 * scheduling / total_core_seconds:.2f}%",
-        f"{100 * boot / total_core_seconds:.1f}%",
-        f"{100 * idle / total_core_seconds:.1f}%",
-    ]
+from repro.analysis import BOOTSTRAP, RUNNING, SCHEDULING
+from repro.sweep.artifacts import fig8_row, render_fig8
 
 
 def test_fig8_resource_timelines(benchmark, report):
-    def regenerate():
-        overload = openfoam_overload_run()
-        tuning = openfoam_tuning_run()
-        return (
-            _summarize(overload, "overload (top)"),
-            _summarize(tuning, "tuning (bottom)"),
-        )
-
-    (tl_over, row_over), (tl_tune, row_tune) = benchmark.pedantic(
-        regenerate, rounds=1, iterations=1
+    overload, tuning = benchmark.pedantic(
+        lambda: (
+            cell_payload("openfoam-overload"),
+            cell_payload("openfoam-tuning"),
+        ),
+        rounds=1,
+        iterations=1,
     )
-    table = render_table(
-        ["run", "makespan (s)", "running (green)", "scheduling (purple)",
-         "bootstrap (blue)", "idle (white)"],
-        [row_over, row_tune],
-        title="Fig 8: RP resource utilization of the compute nodes",
-    )
-    report("fig8", table)
+    report("fig8", render_fig8(overload, tuning))
 
     # All three interval kinds exist in both runs.
-    assert tl_over.kinds() == {BOOTSTRAP, SCHEDULING, RUNNING}
-    assert tl_tune.kinds() == {BOOTSTRAP, SCHEDULING, RUNNING}
+    assert set(overload["timeline"]["kinds"]) == {
+        BOOTSTRAP, SCHEDULING, RUNNING,
+    }
+    assert set(tuning["timeline"]["kinds"]) == {
+        BOOTSTRAP, SCHEDULING, RUNNING,
+    }
     # The overloaded run keeps the machine busier than the tuning run
     # ("the resources are well used").
-    used_over = float(row_over[2].rstrip("%"))
-    used_tune = float(row_tune[2].rstrip("%"))
+    used_over = float(fig8_row(overload, "overload")[2].rstrip("%"))
+    used_tune = float(fig8_row(tuning, "tuning")[2].rstrip("%"))
     assert used_over > used_tune
     assert used_over > 50.0

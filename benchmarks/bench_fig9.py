@@ -8,80 +8,26 @@ the GPUs.
 """
 
 import numpy as np
-from conftest import ddmd_tuning_run
+from conftest import cell_payload
 
-from repro.analysis import render_series, render_table
-from repro.experiments import DDMD_TUNING_PHASES
-from repro.soma import HARDWARE, cpu_utilization_series
+from repro.sweep.artifacts import fig9_phase_rows, render_fig9
 
 
 def test_fig9_low_cpu_utilization(benchmark, report):
-    def regenerate():
-        result = ddmd_tuning_run()
-        series = cpu_utilization_series(result.deployment.store(HARDWARE))
-        # Phase boundaries from the EnTK stage trace.
-        stages = result.session.tracer.select(category="entk.stage")
-        phase_ends = [
-            rec.time for i, rec in enumerate(stages) if (i + 1) % 4 == 0
-        ]
-        return result, series, phase_ends
-
-    result, series, phase_ends = benchmark.pedantic(
-        regenerate, rounds=1, iterations=1
+    payload = benchmark.pedantic(
+        lambda: cell_payload("ddmd-tuning"), rounds=1, iterations=1
     )
-
-    lines = ["Fig 9: DDMD tuning, CPU utilization per app node"]
-    for host, points in sorted(series.items()):
-        lines.append(
-            render_series(
-                f"  {host}",
-                [p.time for p in points],
-                [p.cpu_utilization for p in points],
-            )
-        )
-    # Per-phase mean utilization across nodes.
-    rows = []
-    boundaries = [0.0] + phase_ends
-    for phase, (lo, hi) in enumerate(zip(boundaries, boundaries[1:])):
-        samples = [
-            p.cpu_utilization
-            for points in series.values()
-            for p in points
-            if lo < p.time <= hi
-        ]
-        gpu_samples = [
-            p.gpu_utilization
-            for points in series.values()
-            for p in points
-            if lo < p.time <= hi
-        ]
-        cfg = DDMD_TUNING_PHASES[phase]
-        rows.append(
-            [
-                phase,
-                cfg["cores_per_sim_task"],
-                cfg["cores_per_train_task"],
-                f"{np.mean(samples):.3f}" if samples else "-",
-                f"{np.mean(gpu_samples):.3f}" if gpu_samples else "-",
-            ]
-        )
-    lines.append(
-        render_table(
-            ["phase", "cores/sim", "cores/train", "mean CPU util",
-             "mean GPU util"],
-            rows,
-        )
-    )
-    report("fig9", "\n".join(lines))
+    report("fig9", render_fig9(payload))
 
     # The headline claim: CPU utilization low in every phase, for
     # every core configuration.
-    for row in rows:
+    for row in fig9_phase_rows(payload):
         if row[3] != "-":
             assert float(row[3]) < 0.30
     # And the GPUs are where the work happens.
-    all_cpu = [p.cpu_utilization for pts in series.values() for p in pts]
-    all_gpu = [p.gpu_utilization for pts in series.values() for p in pts]
+    series = payload["utilization_series"]
+    all_cpu = [cpu for pts in series.values() for _, cpu, _ in pts]
+    all_gpu = [gpu for pts in series.values() for _, _, gpu in pts]
     assert np.mean(all_gpu) > np.mean(all_cpu)
     benchmark.extra_info["mean_cpu_util"] = round(float(np.mean(all_cpu)), 3)
     benchmark.extra_info["mean_gpu_util"] = round(float(np.mean(all_gpu)), 3)

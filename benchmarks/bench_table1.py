@@ -4,43 +4,17 @@ Regenerates the experiment summary table and executes the tuning run
 (the overload run is exercised — and timed — by the Fig 4 bench).
 """
 
-from conftest import openfoam_tuning_run
+from conftest import cell_payload
 
-from repro.analysis import render_table
-from repro.experiments import OVERLOAD, TUNING
+from repro.experiments import TUNING
+from repro.sweep.artifacts import render_table1
 
 
 def test_table1_openfoam_summary(benchmark, report):
-    def regenerate():
-        result = openfoam_tuning_run()
-        rows = []
-        for exp in (TUNING, OVERLOAD):
-            rows.append(
-                [
-                    exp.name,
-                    exp.num_tasks,
-                    f"{exp.compute_nodes} (+{exp.agent_nodes})",
-                    ",".join(str(r) for r in exp.rank_configs),
-                    "proc, rp, tau" if exp.use_tau else ",".join(exp.monitors),
-                    exp.soma_ranks_per_namespace,
-                ]
-            )
-        table = render_table(
-            [
-                "Experiment",
-                "Number of Tasks",
-                "Number of Nodes",
-                "MPI Ranks",
-                "Monitors",
-                "SOMA Ranks/Namespace",
-            ],
-            rows,
-            title="Table 1: OpenFOAM Experiment Summary",
-        )
-        return table, result
-
-    table, result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-    report("table1", table)
+    payload = benchmark.pedantic(
+        lambda: cell_payload("openfoam-tuning"), rounds=1, iterations=1
+    )
+    report("table1", render_table1())
     # The tuning run really produced 4 monitored tasks.
-    assert len(result.application_tasks) == TUNING.num_tasks
-    benchmark.extra_info["tuning_makespan_s"] = round(result.makespan, 1)
+    assert payload["num_application_tasks"] == TUNING.num_tasks
+    benchmark.extra_info["tuning_makespan_s"] = round(payload["makespan"], 1)

@@ -4,101 +4,16 @@ Regenerates the configuration table and sanity-runs the tuning
 experiment (the scaling rows are exercised by the Fig 10/11 benches).
 """
 
-from conftest import ddmd_tuning_run
+from conftest import cell_payload
 
-from repro.analysis import render_table
-from repro.experiments import (
-    SCALING_A,
-    SCALING_B,
-    adaptive_experiment,
-    tuning_experiment,
-)
+from repro.sweep.artifacts import render_table2
 
 
 def test_table2_ddmd_summary(benchmark, report):
-    def regenerate():
-        result = ddmd_tuning_run()
-        tuning = tuning_experiment()
-        adaptive = adaptive_experiment()
-        rows = [
-            [
-                "Tuning",
-                tuning.phases,
-                tuning.pipelines,
-                tuning.app_nodes,
-                tuning.soma_nodes,
-                "1,3,7",
-                "1",
-                "1,3,7",
-                tuning.soma_config().total_ranks,
-                f"{tuning.monitoring_frequency:.0f}",
-            ],
-            [
-                "Adaptive",
-                adaptive.phases,
-                adaptive.pipelines,
-                adaptive.app_nodes,
-                adaptive.soma_nodes,
-                adaptive.params.cores_per_sim_task,
-                "1,2,4,6",
-                adaptive.params.cores_per_train_task,
-                adaptive.soma_config().total_ranks,
-                f"{adaptive.monitoring_frequency:.0f}",
-            ],
-        ]
-        for soma_nodes in (1, 2, 4):
-            exp = SCALING_A(soma_nodes, "exclusive")
-            rows.append(
-                [
-                    "Scaling A",
-                    exp.phases,
-                    exp.pipelines,
-                    exp.app_nodes,
-                    exp.soma_nodes,
-                    exp.params.cores_per_sim_task,
-                    exp.params.num_train_tasks,
-                    exp.params.cores_per_train_task,
-                    exp.soma_config().total_ranks,
-                    f"{exp.monitoring_frequency:.0f}",
-                ]
-            )
-        for pipelines in (64, 128, 256, 512):
-            exp = SCALING_B(pipelines, "exclusive")
-            rows.append(
-                [
-                    "Scaling B",
-                    exp.phases,
-                    exp.pipelines,
-                    exp.app_nodes,
-                    exp.soma_nodes,
-                    exp.params.cores_per_sim_task,
-                    exp.params.num_train_tasks,
-                    exp.params.cores_per_train_task,
-                    exp.soma_config().total_ranks,
-                    "60,10",
-                ]
-            )
-        table = render_table(
-            [
-                "Experiment",
-                "Phases",
-                "Pipelines",
-                "App Nodes",
-                "SOMA Nodes",
-                "Cores/Sim",
-                "Train Tasks",
-                "Cores/Train",
-                "SOMA Ranks",
-                "Freq (s)",
-            ],
-            rows,
-            title="Table 2: DeepDriveMD Mini-app Experiment Summary",
-        )
-        return table, result
-
-    table, result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
-    report("table2", table)
-    pipeline = result.payload["pipelines"][0]
-    assert len(pipeline.stages) == 6 * 4
-    assert pipeline.succeeded
-    benchmark.extra_info["tuning_makespan_s"] = round(result.makespan, 1)
+    payload = benchmark.pedantic(
+        lambda: cell_payload("ddmd-tuning"), rounds=1, iterations=1
+    )
+    report("table2", render_table2())
+    assert payload["pipeline0_stages"] == 6 * 4
+    assert payload["pipeline0_succeeded"]
+    benchmark.extra_info["tuning_makespan_s"] = round(payload["makespan"], 1)

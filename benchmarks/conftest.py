@@ -1,11 +1,18 @@
 """Shared infrastructure for the per-table / per-figure benchmarks.
 
-Heavy experiment runs are cached per session so the figure benches
-that consume the same run (e.g. Figs 4/5/6/8 all come from the
-OpenFOAM runs of Table 1) do not re-simulate it.  Every bench renders
-its table/series through :mod:`repro.analysis.report` and writes the
-text into ``benchmarks/results/`` so the regenerated "paper output"
-survives pytest's stdout capture.
+Each bench consumes one or more **sweep cells** from the default
+matrix (:func:`repro.sweep.default_matrix`) — the same declarative
+(experiment × seed × config) grid ``python -m repro sweep``
+parallelizes — and renders its table/series through the shared
+renderers in :mod:`repro.sweep.artifacts`.  That single source of
+truth is what makes a sweep regeneration byte-identical to a bench
+run.
+
+Cell payloads are cached per pytest session, so figure benches that
+share a run (e.g. Figs 4/6/8 all read the overloaded OpenFOAM cell)
+do not re-simulate it.  Results are written to ``benchmarks/results/``
+through the sweep journal's atomic temp-file + rename helper, so an
+interrupted bench never leaves a truncated artifact behind.
 """
 
 from __future__ import annotations
@@ -31,6 +38,20 @@ def cached(key: str, factory):
     return _cache[key]
 
 
+def cell_payload(key: str) -> dict:
+    """Run (once per session) one cell of the default sweep matrix."""
+
+    def factory():
+        from repro.experiments.harness import run_cell
+        from repro.sweep import default_matrix
+
+        matrix, _ = default_matrix()
+        cell = matrix[key]
+        return run_cell(cell.family, cell.params, cell.seed)
+
+    return cached(f"cell:{key}", factory)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -39,62 +60,12 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def report(results_dir):
-    """Write (and echo) a rendered report for one table/figure."""
+    """Write (atomically) and echo a rendered report for one artifact."""
+    from repro.sweep import atomic_write_text
 
     def _write(name: str, text: str) -> str:
-        path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        path = atomic_write_text(results_dir / f"{name}.txt", text + "\n")
         print(f"\n{text}\n[written to {path}]")
         return text
 
     return _write
-
-
-# -- canonical experiment runs (shared across benches) -----------------
-
-
-def openfoam_tuning_run():
-    from repro.experiments import TUNING, run_openfoam_experiment
-
-    return cached(
-        "openfoam-tuning", lambda: run_openfoam_experiment(TUNING, seed=11)
-    )
-
-
-def openfoam_overload_run():
-    from repro.experiments import OVERLOAD, run_openfoam_experiment
-
-    return cached(
-        "openfoam-overload", lambda: run_openfoam_experiment(OVERLOAD, seed=21)
-    )
-
-
-def ddmd_tuning_run():
-    from repro.experiments import run_ddmd_experiment, tuning_experiment
-
-    return cached(
-        "ddmd-tuning",
-        lambda: run_ddmd_experiment(tuning_experiment(), seed=7),
-    )
-
-
-def scaling_b_run(pipelines: int, mode: str, frequent: bool = False):
-    from repro.experiments import SCALING_B, run_ddmd_experiment
-
-    key = f"scaling-b-{pipelines}-{mode}-{frequent}"
-    return cached(
-        key,
-        lambda: run_ddmd_experiment(
-            SCALING_B(pipelines, mode, frequent=frequent), seed=5
-        ),
-    )
-
-
-def scaling_a_run(soma_nodes: int, mode: str):
-    from repro.experiments import SCALING_A, run_ddmd_experiment
-
-    key = f"scaling-a-{soma_nodes}-{mode}"
-    return cached(
-        key,
-        lambda: run_ddmd_experiment(SCALING_A(soma_nodes, mode), seed=5),
-    )

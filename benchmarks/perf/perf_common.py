@@ -133,6 +133,6 @@ class LegacyFilterStore(LegacyStore):
 
 
 def write_results(path: str, results: dict) -> None:
-    with open(path, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    from repro.sweep.journal import atomic_write_text
+
+    atomic_write_text(path, json.dumps(results, indent=2, sort_keys=True) + "\n")

@@ -16,6 +16,7 @@ __all__ = [
     "render_table",
     "render_series",
     "render_boxes",
+    "render_manifest",
     "sparkline",
 ]
 
@@ -119,3 +120,47 @@ def render_boxes(
         rows,
         title=title,
     )
+
+
+def render_manifest(manifest: dict) -> str:
+    """Human-readable view of a sweep manifest (per-cell merge table).
+
+    Cells arrive sorted by key from the runner, so the rendering is
+    independent of the order the pool completed them in.
+    """
+    rows = []
+    for entry in manifest["cells"]:
+        rows.append(
+            [
+                entry["key"],
+                entry["family"],
+                entry["seed"],
+                entry["source"],
+                fmt(entry["wall_seconds"], ".2f"),
+                entry["result_digest"][:12],
+            ]
+        )
+    for failure in manifest.get("failed", ()):
+        rows.append([failure["key"], "-", "-", "FAILED", "-", "-"])
+    for key in manifest.get("pending", ()):
+        rows.append([key, "-", "-", "pending", "-", "-"])
+    counts = manifest["counts"]
+    lines = [
+        render_table(
+            ["cell", "family", "seed", "source", "wall (s)", "result digest"],
+            rows,
+            title=f"sweep manifest ({manifest['jobs']} job(s), "
+            f"code {manifest['code_version'][:12]})",
+        ),
+        f"completed {counts['computed']} computed"
+        f" + {counts['cache_hits']} cache hits"
+        f" + {counts['journal_replays']} journal replays"
+        f" of {counts['total']} cells"
+        f" ({counts['failed']} failed, {counts['pending']} pending)",
+        f"wall clock {fmt(manifest['wall_clock_seconds'], '.2f')} s"
+        f" vs serial estimate "
+        f"{fmt(manifest['serial_seconds_estimate'], '.2f')} s"
+        f" (speedup {fmt(manifest['speedup_vs_serial'], '.2f')}x)",
+        f"matrix digest {manifest['matrix_digest']}",
+    ]
+    return "\n".join(lines)

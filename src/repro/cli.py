@@ -6,6 +6,7 @@ Usage::
     python -m repro openfoam --experiment tuning --seed 11
     python -m repro ddmd --experiment adaptive
     python -m repro scaling --pipelines 16 --modes none shared exclusive
+    python -m repro sweep --jobs 4 --manifest sweep.json
     python -m repro lint src/repro
 """
 
@@ -57,6 +58,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_scale.add_argument("--frequent", action="store_true")
     p_scale.add_argument("--seed", type=int, default=5)
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="regenerate paper artifacts via the parallel sweep engine",
+        description=(
+            "Shard the full experiment matrix (every benchmarks/results/ "
+            "artifact) over a worker pool with content-addressed caching "
+            "and a crash-safe journal.  Interrupted runs resume with "
+            "--resume; completed cells are never re-executed."
+        ),
+    )
+    p_sweep.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes (default: 1, the serial reference path)",
+    )
+    p_sweep.add_argument(
+        "--filter", action="append", default=None, metavar="GLOB",
+        help="restrict to artifacts/cells matching the glob "
+        "(repeatable; e.g. --filter 'fig*' --filter table1)",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal of an interrupted sweep in --dir",
+    )
+    p_sweep.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="also write the merged manifest JSON to PATH",
+    )
+    p_sweep.add_argument(
+        "--dir", default=".sweep", dest="sweep_dir", metavar="DIR",
+        help="journal + cache directory (default: .sweep)",
+    )
+    p_sweep.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR",
+        help="where regenerated artifacts go (default: benchmarks/results)",
+    )
+    p_sweep.add_argument(
+        "--list", action="store_true", dest="list_cells",
+        help="print the planned cells/artifacts and exit without running",
+    )
+    p_sweep.add_argument(
+        "--no-artifacts", action="store_true",
+        help="run the cells but skip rendering the artifact files",
+    )
+
     p_lint = sub.add_parser(
         "lint",
         help="run simlint (determinism/lifecycle static analysis)",
@@ -100,7 +145,8 @@ def _cmd_info() -> int:
         "core-equivalents"
     )
     print("subsystems: sim, platform, conduit, messaging, rp, entk, "
-          "soma, monitors, workloads, adaptive, experiments, analysis")
+          "soma, monitors, workloads, adaptive, experiments, analysis, "
+          "sweep")
     print("benchmarks: one per paper table/figure "
           "(pytest benchmarks/ --benchmark-only)")
     return 0
@@ -183,6 +229,102 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _select_cells(matrix, artifacts, patterns):
+    """Resolve --filter globs against artifact names and cell keys."""
+    from fnmatch import fnmatchcase
+
+    if not patterns:
+        return matrix, dict(artifacts)
+    keys: set[str] = set()
+    chosen_artifacts = {}
+    for name, artifact in artifacts.items():
+        if any(fnmatchcase(name, pat) for pat in patterns):
+            chosen_artifacts[name] = artifact
+            keys.update(artifact.cells)
+    for cell in matrix:
+        if any(fnmatchcase(cell.key, pat) for pat in patterns):
+            keys.add(cell.key)
+    if not keys:
+        raise SystemExit(
+            f"--filter {patterns} matched no artifact or cell; known "
+            f"artifacts: {', '.join(sorted(artifacts))}"
+        )
+    selected = matrix.subset(keys)
+    # An artifact renders iff every cell it needs is in the selection.
+    for name, artifact in artifacts.items():
+        if name not in chosen_artifacts and all(
+            key in keys for key in artifact.cells
+        ):
+            chosen_artifacts[name] = artifact
+    return selected, chosen_artifacts
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.report import render_manifest
+    from .sweep import (
+        SweepInterrupted,
+        atomic_write_json,
+        atomic_write_text,
+        default_matrix,
+        plan_shards,
+        run_sweep,
+    )
+
+    matrix, artifacts = default_matrix()
+    spec, selected_artifacts = _select_cells(
+        matrix, artifacts, args.filter
+    )
+
+    if args.list_cells:
+        plan = plan_shards(spec.cells, max(1, args.jobs))
+        print(
+            f"{len(spec)} cell(s), {len(selected_artifacts)} artifact(s), "
+            f"{args.jobs} job(s); predicted makespan "
+            f"{plan.predicted_makespan:.1f}s of {plan.serial_seconds:.1f}s "
+            "serial (heuristic)"
+        )
+        for i, shard in enumerate(plan.shards):
+            keys = ", ".join(c.key for c in shard)
+            print(f"  shard {i}: {keys}")
+        print("artifacts: " + ", ".join(sorted(selected_artifacts)))
+        return 0
+
+    interrupted: SweepInterrupted | None = None
+    try:
+        run = run_sweep(
+            spec,
+            jobs=max(1, args.jobs),
+            sweep_dir=args.sweep_dir,
+            resume=args.resume,
+            progress=print,
+        )
+    except SweepInterrupted as exc:
+        interrupted = exc
+        run = exc.run
+
+    if args.manifest:
+        atomic_write_json(args.manifest, run.manifest)
+        print(f"[manifest written to {args.manifest}]")
+
+    if interrupted is not None:
+        print(f"sweep interrupted: {interrupted}")
+        print("re-run with --resume to continue from the journal")
+        return 3
+
+    if not args.no_artifacts:
+        results_dir = Path(args.results_dir)
+        for name in sorted(selected_artifacts):
+            artifact = selected_artifacts[name]
+            text = artifact.render(run.payloads)
+            path = atomic_write_text(results_dir / f"{name}.txt", text + "\n")
+            print(f"[{name} written to {path}]")
+
+    print(render_manifest(run.manifest))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .sanitize import simlint
 
@@ -206,6 +348,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_ddmd(args)
     if args.command == "scaling":
         return _cmd_scaling(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces choices

@@ -1,0 +1,120 @@
+"""Ablation runs of the adaptive prototype (paper Sec 6 future work).
+
+Previously private to ``benchmarks/bench_ablation_adaptive.py``; hoisted
+here so the sweep engine can run them as self-contained cells and the
+bench can keep regenerating the same tables from the same code.
+
+1. **Rank tuning** (Sec 4.1): probe each MPI configuration once, let
+   the :class:`~repro.adaptive.RankTuningPolicy` pick one, run the
+   remaining instances there — vs. statically cycling the original
+   mixed configurations.
+2. **Utilization-aware placement** (Sec 4.2): schedule onto the node
+   with the lowest memory-bandwidth pressure — vs. default rotating
+   first-fit — for a contention-heavy bag of tasks.
+"""
+
+from __future__ import annotations
+
+from ..adaptive import AdaptiveController, RankTuningPolicy
+from ..platform.specs import summit_like
+from ..rp.client import Client
+from ..rp.description import PilotDescription, TaskDescription
+from ..rp.model import ComputeModel
+from ..rp.session import Session
+from ..soma.integration import deploy_soma
+from ..soma.namespaces import HARDWARE, WORKFLOW
+from ..soma.service import SomaConfig
+from ..workloads.openfoam import OpenFOAMParams, openfoam_task_description
+
+__all__ = [
+    "ABLATION_RANKS",
+    "ABLATION_INSTANCES",
+    "run_rank_tuning_ablation",
+    "run_placement_ablation",
+]
+
+ABLATION_RANKS = (20, 41, 82, 164)
+ABLATION_INSTANCES = 8
+
+
+def run_rank_tuning_ablation(
+    adaptive: bool, seed: int = 11
+) -> tuple[float, int]:
+    """Makespan (and the chosen rank count) of one rank-tuning run."""
+    params = OpenFOAMParams()
+    session = Session(cluster_spec=summit_like(6), seed=seed)
+    client = Client(session)
+    env = session.env
+
+    def main(env):
+        pilot = yield from client.submit_pilot(
+            PilotDescription(nodes=5, agent_nodes=1)
+        )
+        deployment = yield from deploy_soma(
+            client,
+            pilot,
+            SomaConfig(namespaces=(WORKFLOW, HARDWARE), monitors=("proc",)),
+        )
+        controller = AdaptiveController(
+            client, deployment, rank_policy=RankTuningPolicy(0.35)
+        )
+        start = env.now
+        probes = client.submit_tasks(
+            [
+                openfoam_task_description(r, params=params, name=f"probe-{r}")
+                for r in ABLATION_RANKS
+            ]
+        )
+        yield from client.wait_tasks(probes)
+        controller.observe_tasks(probes)
+        choice = controller.recommended_ranks() if adaptive else 0
+        rest = []
+        for i in range(ABLATION_INSTANCES):
+            ranks = choice if adaptive else ABLATION_RANKS[i % len(ABLATION_RANKS)]
+            rest.append(
+                openfoam_task_description(ranks, params=params, name=f"r{i}")
+            )
+        tasks = client.submit_tasks(rest)
+        yield from client.wait_tasks(tasks)
+        return env.now - start, choice
+
+    makespan, choice = env.run(env.process(main(env)))
+    client.close()
+    return makespan, choice
+
+
+def run_placement_ablation(adaptive: bool, seed: int) -> float:
+    """Makespan of a contention-heavy bag under one placement policy."""
+    session = Session(cluster_spec=summit_like(5), seed=seed)
+    client = Client(session)
+    env = session.env
+
+    def main(env):
+        yield from client.submit_pilot(
+            PilotDescription(nodes=4, agent_nodes=1)
+        )
+        if adaptive:
+            from ..adaptive import UtilizationAwarePlacement
+
+            client.agent.scheduler.set_node_ranker(UtilizationAwarePlacement())
+        start = env.now
+        # Contention-heavy bag: memory-bound 10-rank jobs in waves.
+        tasks = client.submit_tasks(
+            [
+                TaskDescription(
+                    name=f"job{i}",
+                    model=ComputeModel(
+                        200.0, mem_intensity=0.7, demand_per_core=1.3
+                    ),
+                    ranks=10,
+                    multi_node=False,
+                )
+                for i in range(24)
+            ]
+        )
+        yield from client.wait_tasks(tasks)
+        return env.now - start
+
+    makespan = env.run(env.process(main(env)))
+    client.close()
+    return makespan

@@ -30,6 +30,7 @@ from .plan import (
     FaultPlan,
 )
 from .retry import TRANSIENT_ERRORS, RetryExhausted, RetryPolicy
+from .worker import WorkerFault, WorkerFaultSpec, check_worker_fault
 
 __all__ = [
     "FAULT_KINDS",
@@ -53,4 +54,7 @@ __all__ = [
     "ServiceUnavailable",
     "TRANSIENT_ERRORS",
     "WINDOWED_KINDS",
+    "WorkerFault",
+    "WorkerFaultSpec",
+    "check_worker_fault",
 ]

@@ -1,0 +1,61 @@
+"""Parallel sweep engine: sharded experiment runs with caching + resume.
+
+The paper's evaluation is a matrix of independent runs (experiment ×
+seed × configuration).  :mod:`repro.sweep` shards that matrix over a
+process pool, caches each completed cell content-addressed on
+``sha256(code, family, params, seed)``, journals completions one JSON
+line at a time through atomic temp-file + rename writes, and resumes a
+killed run without re-executing anything that finished.
+
+The headline invariant — **sharding must not change results** — is
+pinned by ``tests/sweep/test_parity.py``: ``--jobs 1/2/4`` produce
+byte-identical per-cell result digests and identical merged manifests.
+
+Entry points::
+
+    python -m repro sweep --jobs 4                 # all artifacts
+    python -m repro sweep --jobs 2 --filter 'fig*' # just the figures
+    python -m repro sweep --resume                 # after a crash
+"""
+
+from .artifacts import Artifact, default_matrix
+from .cache import ResultCache
+from .journal import Journal, atomic_write_json, atomic_write_text
+from .planner import ShardPlan, estimate_cost, plan_shards, schedule_order
+from .runner import (
+    SweepInterrupted,
+    SweepRun,
+    cells_signature,
+    execute_cell,
+    run_sweep,
+)
+from .spec import (
+    CellSpec,
+    SweepSpec,
+    canonical_json,
+    code_fingerprint,
+    result_digest,
+)
+
+__all__ = [
+    "Artifact",
+    "CellSpec",
+    "Journal",
+    "ResultCache",
+    "ShardPlan",
+    "SweepInterrupted",
+    "SweepRun",
+    "SweepSpec",
+    "atomic_write_json",
+    "atomic_write_text",
+    "canonical_json",
+    "cells_signature",
+    "code_fingerprint",
+    "default_matrix",
+    "estimate_cost",
+    "execute_cell",
+    "plan_shards",
+    "result_digest",
+    "run_sweep",
+    "schedule_order",
+]

@@ -1,0 +1,48 @@
+"""Content-addressed result cache for sweep cells.
+
+Keyed on :meth:`CellSpec.digest` — a sha256 over (code fingerprint,
+family, params, seed) — so a cache hit is only possible when the exact
+code ran the exact cell.  Records are whole JSON files written through
+the atomic temp-file + rename path; a record that fails to parse (e.g.
+produced by a non-atomic writer that got killed) is treated as a miss
+and recomputed, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .journal import atomic_write_json
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Digest-addressed store of completed cell records."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> dict | None:
+        """Load a record, or None on miss/corruption."""
+        path = self.path(digest)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("digest") != digest:
+            return None
+        return record
+
+    def put(self, digest: str, record: dict) -> Path:
+        record = dict(record)
+        record["digest"] = digest
+        return atomic_write_json(self.path(digest), record, indent=None)
+
+    def __contains__(self, digest: str) -> bool:
+        return self.get(digest) is not None

@@ -1,0 +1,122 @@
+"""Crash-safe journalling and atomic file writes.
+
+Two primitives the sweep engine (and the benchmarks) build on:
+
+* :func:`atomic_write_text` / :func:`atomic_write_json` — write into a
+  temporary file in the destination directory, ``fsync``, then
+  ``os.replace`` onto the target.  A reader (or a run killed half-way
+  through the write) sees either the old content or the new content,
+  never a torn file.
+* :class:`Journal` — one JSON line per completed sweep cell.  Every
+  append rewrites the whole journal through the atomic path, so a
+  ``SIGKILL`` at any instant leaves a valid journal describing a prefix
+  of the completed cells.  :meth:`Journal.load` additionally tolerates a
+  torn trailing line (e.g. a journal produced by a different writer),
+  dropping it instead of failing the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["atomic_write_text", "atomic_write_json", "Journal"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: str | Path, obj: Any, indent: int | None = 2) -> Path:
+    """Atomically write ``obj`` as JSON (trailing newline included)."""
+    return atomic_write_text(path, json.dumps(obj, indent=indent) + "\n")
+
+
+class Journal:
+    """Append-only record of completed sweep cells, one JSON line each.
+
+    The journal is the crash-safety mechanism: a cell is *complete* iff
+    its line is in the journal, and every append goes through the
+    temp-file + rename path, so an interrupted sweep can always be
+    resumed from the journal on disk.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: list[dict] = []
+
+    # -- lifecycle ----------------------------------------------------
+
+    def load(self) -> "Journal":
+        """Read the journal from disk (tolerating a torn last line)."""
+        self._entries = []
+        if not self.path.exists():
+            return self
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a non-atomic writer: drop it
+                raise
+            if isinstance(entry, dict) and "digest" in entry:
+                self._entries.append(entry)
+        return self
+
+    def reset(self) -> "Journal":
+        """Start a fresh journal (truncate any existing file)."""
+        self._entries = []
+        if self.path.exists():
+            atomic_write_text(self.path, "")
+        return self
+
+    # -- writes -------------------------------------------------------
+
+    def append(self, entry: dict) -> None:
+        """Record one completed cell; the write is atomic."""
+        self._entries.append(dict(entry))
+        text = "".join(
+            json.dumps(e, sort_keys=True) + "\n" for e in self._entries
+        )
+        atomic_write_text(self.path, text)
+
+    # -- reads --------------------------------------------------------
+
+    @property
+    def entries(self) -> tuple[dict, ...]:
+        return tuple(self._entries)
+
+    def completed_digests(self) -> dict[str, dict]:
+        """Digest -> journal entry for every completed cell."""
+        return {e["digest"]: e for e in self._entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._entries)

@@ -1,0 +1,126 @@
+"""Deterministic shard planning for sweep runs.
+
+The planner does two things, both order-stable for a given matrix:
+
+* :func:`schedule_order` — the longest-processing-time-first order the
+  pool consumes cells in.  Workers pull dynamically, so this is a
+  straggler heuristic rather than a static assignment: the expensive
+  Scaling-B cells start first and the cheap tuning cells fill the tail.
+* :func:`plan_shards` — the greedy static partition over ``jobs``
+  workers, used to *predict* the parallel makespan reported in the
+  manifest (and by ``--list`` to show the expected balance).
+
+Cost estimates are coarse wall-second heuristics per family, optionally
+overridden per cell by observed durations from a previous manifest —
+content-addressed, so stale observations never attach to changed cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import CellSpec
+
+__all__ = ["ShardPlan", "estimate_cost", "schedule_order", "plan_shards"]
+
+
+def estimate_cost(cell: CellSpec) -> float:
+    """Rough serial wall-seconds for one cell (host-hardware agnostic)."""
+    params = cell.params
+    if cell.family == "openfoam":
+        base = TUNING_COST if params.get("experiment", "tuning") == "tuning" else 2.4
+        overrides = params.get("overrides") or {}
+        instances = overrides.get("instances_per_config")
+        if instances is not None:
+            base = max(0.1, 0.12 * instances)
+        return base
+    if cell.family == "ddmd":
+        preset = params.get("preset", "tuning")
+        if preset == "tuning":
+            return 0.4
+        if preset == "adaptive":
+            return 0.15
+        if preset == "scaling_a":
+            return 2.5
+        if preset == "scaling_b":
+            pipelines = params.get("pipelines", 64)
+            frequent = bool(params.get("frequent", False))
+            scale = (pipelines / 64.0) ** 2
+            cost = 2.5 * scale * (2.0 if frequent else 1.0)
+            if params.get("mode") == "none":
+                cost *= 0.8
+            return cost
+        return 1.0
+    if cell.family == "ablation":
+        return 0.3
+    return 1.0
+
+
+TUNING_COST = 0.15
+
+
+def _costs(
+    cells: tuple[CellSpec, ...],
+    observed: dict[str, float] | None,
+    digests: dict[str, str] | None,
+) -> dict[str, float]:
+    out = {}
+    for cell in cells:
+        cost = estimate_cost(cell)
+        if observed and digests:
+            digest = digests.get(cell.key)
+            if digest is not None and digest in observed:
+                cost = observed[digest]
+        out[cell.key] = cost
+    return out
+
+
+def schedule_order(
+    cells: "tuple[CellSpec, ...] | list[CellSpec]",
+    observed: dict[str, float] | None = None,
+    digests: dict[str, str] | None = None,
+) -> list[CellSpec]:
+    """Cells in LPT order (cost descending, key ascending on ties)."""
+    cells = tuple(cells)
+    costs = _costs(cells, observed, digests)
+    return sorted(cells, key=lambda c: (-costs[c.key], c.key))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Static greedy partition of the matrix over ``jobs`` workers."""
+
+    shards: tuple[tuple[CellSpec, ...], ...]
+    shard_seconds: tuple[float, ...]
+
+    @property
+    def predicted_makespan(self) -> float:
+        return max(self.shard_seconds, default=0.0)
+
+    @property
+    def serial_seconds(self) -> float:
+        return sum(self.shard_seconds)
+
+
+def plan_shards(
+    cells: "tuple[CellSpec, ...] | list[CellSpec]",
+    jobs: int,
+    observed: dict[str, float] | None = None,
+    digests: dict[str, str] | None = None,
+) -> ShardPlan:
+    """Greedy LPT assignment: each cell goes to the lightest shard."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    ordered = schedule_order(cells, observed, digests)
+    costs = _costs(tuple(ordered), observed, digests)
+    shards: list[list[CellSpec]] = [[] for _ in range(jobs)]
+    loads = [0.0] * jobs
+    for cell in ordered:
+        # min() is stable: ties resolve to the lowest shard index.
+        target = loads.index(min(loads))
+        shards[target].append(cell)
+        loads[target] += costs[cell.key]
+    return ShardPlan(
+        shards=tuple(tuple(shard) for shard in shards),
+        shard_seconds=tuple(loads),
+    )

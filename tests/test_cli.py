@@ -55,3 +55,43 @@ def test_scaling_small(capsys):
 def test_bad_mode_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["scaling", "--modes", "bogus"])
+
+
+def test_sweep_list(capsys):
+    assert main(["sweep", "--list", "--jobs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted makespan" in out
+    assert "shard 3:" in out
+    assert "fig4" in out and "table1" in out
+
+
+def test_sweep_filter_runs_and_renders(tmp_path, capsys):
+    manifest_path = tmp_path / "manifest.json"
+    assert (
+        main(
+            [
+                "sweep",
+                "--jobs",
+                "2",
+                "--filter",
+                "table1",
+                "--dir",
+                str(tmp_path / "sweep"),
+                "--results-dir",
+                str(tmp_path / "results"),
+                "--manifest",
+                str(manifest_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "sweep manifest" in out
+    assert manifest_path.exists()
+    table1 = (tmp_path / "results" / "table1.txt").read_text()
+    assert table1.startswith("Table 1: OpenFOAM Experiment Summary")
+
+
+def test_sweep_unknown_filter_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--filter", "no-such-artifact", "--dir", str(tmp_path)])
