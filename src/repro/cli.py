@@ -101,6 +101,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-artifacts", action="store_true",
         help="run the cells but skip rendering the artifact files",
     )
+    p_sweep.add_argument(
+        "--telemetry", action="store_true",
+        help="run every cell with span telemetry enabled and export a "
+        "Chrome trace per cell under <dir>/traces (forces recompute; "
+        "results are byte-identical to a plain run)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one experiment with causal span tracing and export "
+        "a Perfetto-loadable Chrome trace",
+        description=(
+            "Run an experiment with repro.telemetry enabled (the "
+            "simulated run is byte-identical to an untraced one), write "
+            "the span tree as Chrome trace-event JSON, and print a "
+            "flame summary plus the top-K critical-path spans."
+        ),
+    )
+    p_trace.add_argument(
+        "experiment",
+        choices=("ddmd", "ddmd-adaptive", "openfoam", "openfoam-overload"),
+        help="which experiment to trace",
+    )
+    p_trace.add_argument("--seed", type=int, default=7)
+    p_trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="trace JSON path (default: traces/<experiment>.trace.json)",
+    )
+    p_trace.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the critical-path span table (default: 10)",
+    )
 
     p_lint = sub.add_parser(
         "lint",
@@ -291,6 +323,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("artifacts: " + ", ".join(sorted(selected_artifacts)))
         return 0
 
+    telemetry_dir = (
+        Path(args.sweep_dir) / "traces" if args.telemetry else None
+    )
     interrupted: SweepInterrupted | None = None
     try:
         run = run_sweep(
@@ -299,10 +334,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             sweep_dir=args.sweep_dir,
             resume=args.resume,
             progress=print,
+            telemetry_dir=telemetry_dir,
         )
     except SweepInterrupted as exc:
         interrupted = exc
         run = exc.run
+    if telemetry_dir is not None:
+        traces = sorted(telemetry_dir.glob("*.trace.json"))
+        print(f"[{len(traces)} cell trace(s) under {telemetry_dir}]")
 
     if args.manifest:
         atomic_write_json(args.manifest, run.manifest)
@@ -322,6 +361,94 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"[{name} written to {path}]")
 
     print(render_manifest(run.manifest))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .telemetry import (
+        MetricsRegistry,
+        absorb_session,
+        chrome_trace,
+        component_tracks,
+        drain_telemetries,
+        flame_summary,
+        merge_chrome_traces,
+        render_span_table,
+        save_chrome_trace,
+        set_default_telemetry,
+        top_critical_spans,
+        validate_chrome_trace,
+    )
+
+    drain_telemetries()  # discard hubs any earlier in-process run left
+    previous = set_default_telemetry(True)
+    try:
+        if args.experiment in ("openfoam", "openfoam-overload"):
+            from .experiments import OVERLOAD, TUNING, run_openfoam_experiment
+
+            experiment = (
+                OVERLOAD if args.experiment == "openfoam-overload" else TUNING
+            )
+            print(
+                f"tracing OpenFOAM '{experiment.name}' (seed {args.seed}) ..."
+            )
+            result = run_openfoam_experiment(experiment, seed=args.seed)
+        else:
+            from .experiments import (
+                adaptive_experiment,
+                run_ddmd_experiment,
+                tuning_experiment,
+            )
+
+            experiment = (
+                adaptive_experiment()
+                if args.experiment == "ddmd-adaptive"
+                else tuning_experiment()
+            )
+            print(f"tracing DDMD '{experiment.name}' (seed {args.seed}) ...")
+            result = run_ddmd_experiment(experiment, seed=args.seed)
+    finally:
+        set_default_telemetry(previous)
+        hubs = drain_telemetries()
+
+    if not hubs:
+        print("no telemetry hubs recorded (nothing to export)")
+        return 1
+    metrics = MetricsRegistry()
+    absorb_session(metrics, result.session, result.client, result.deployment)
+    documents = [
+        chrome_trace(hub, metrics=metrics if index == 0 else None, pid=index + 1)
+        for index, hub in enumerate(hubs)
+    ]
+    document = merge_chrome_traces(documents)
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems[:10]:
+            print(f"invalid trace: {problem}")
+        return 1
+    out = Path(
+        args.out
+        if args.out is not None
+        else Path("traces") / f"{args.experiment}.trace.json"
+    )
+    path = save_chrome_trace(out, document)
+
+    hub = max(hubs, key=lambda h: len(h.spans))
+    counters = hub.counters()
+    print(
+        f"makespan: {result.makespan:.0f} simulated seconds; "
+        f"{counters['spans_started']} spans on "
+        f"{len(component_tracks(document))} component tracks "
+        f"({counters['traces']} causal traces)"
+    )
+    print(f"trace written to {path} (load in ui.perfetto.dev)")
+    print()
+    print(flame_summary(hub))
+    print()
+    print("top critical-path spans (by self time):")
+    print(render_span_table(top_critical_spans(hub, k=max(1, args.top))))
     return 0
 
 
@@ -350,6 +477,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_scaling(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces choices

@@ -61,45 +61,56 @@ class AppManager:
         self, pipeline: Pipeline
     ) -> Generator[Event, None, None]:
         pipeline.started_at = self.env.now
-        self.client.session.tracer.record(
-            "entk.pipeline", pipeline.uid, event="start"
-        )
-        for index, stage in enumerate(pipeline.stages):
-            yield from self._run_stage(pipeline, stage)
-            if (
-                self.between_phases is not None
-                and self.stages_per_phase > 0
-                and (index + 1) % self.stages_per_phase == 0
-            ):
-                phase = (index + 1) // self.stages_per_phase - 1
-                self.between_phases(pipeline, phase)
-        pipeline.finished_at = self.env.now
-        self.client.session.tracer.record(
-            "entk.pipeline",
-            pipeline.uid,
-            event="done",
-            duration=pipeline.duration,
-        )
+        with self.client.session.telemetry.span(
+            f"pipeline:{pipeline.uid}", component="entk", uid=pipeline.uid
+        ):
+            self.client.session.tracer.record(
+                "entk.pipeline", pipeline.uid, event="start"
+            )
+            for index, stage in enumerate(pipeline.stages):
+                yield from self._run_stage(pipeline, stage)
+                if (
+                    self.between_phases is not None
+                    and self.stages_per_phase > 0
+                    and (index + 1) % self.stages_per_phase == 0
+                ):
+                    phase = (index + 1) // self.stages_per_phase - 1
+                    self.between_phases(pipeline, phase)
+            pipeline.finished_at = self.env.now
+            self.client.session.tracer.record(
+                "entk.pipeline",
+                pipeline.uid,
+                event="done",
+                duration=pipeline.duration,
+            )
 
     def _run_stage(
         self, pipeline: Pipeline, stage: Stage
     ) -> Generator[Event, None, None]:
         stage.started_at = self.env.now
-        stage.tasks = self.client.submit_tasks(stage.task_descriptions)
-        yield from self.client.wait_tasks(stage.tasks)
-        stage.finished_at = self.env.now
-        for task in stage.tasks:
-            if task.state != TaskState.DONE:
-                self.failed_tasks.append(task)
-        self.client.session.tracer.record(
-            "entk.stage",
-            stage.uid,
+        # Task root spans created under this stage span adopt it as
+        # their parent — the hand-off from EnTK to RP in every trace.
+        with self.client.session.telemetry.span(
+            f"stage:{stage.name}",
+            component="entk",
+            uid=stage.uid,
             pipeline=pipeline.uid,
-            stage_name=stage.name,
-            duration=stage.duration,
-        )
-        if stage.post_exec is not None:
-            stage.post_exec(stage)
+        ):
+            stage.tasks = self.client.submit_tasks(stage.task_descriptions)
+            yield from self.client.wait_tasks(stage.tasks)
+            stage.finished_at = self.env.now
+            for task in stage.tasks:
+                if task.state != TaskState.DONE:
+                    self.failed_tasks.append(task)
+            self.client.session.tracer.record(
+                "entk.stage",
+                stage.uid,
+                pipeline=pipeline.uid,
+                stage_name=stage.name,
+                duration=stage.duration,
+            )
+            if stage.post_exec is not None:
+                stage.post_exec(stage)
 
     # -- results -----------------------------------------------------------
 

@@ -126,6 +126,7 @@ def run_workflow(
     rp_config: RPConfig | None = None,
     seed: int = 42,
     trace: bool = True,
+    telemetry: bool | None = None,
     drain_seconds: float = 0.0,
 ) -> WorkflowResult:
     """Run one complete workflow on a fresh simulated machine.
@@ -133,11 +134,17 @@ def run_workflow(
     ``workload`` is a process generator receiving the active client and
     the SOMA deployment; whatever it returns becomes the result's
     ``payload``.  ``soma_config=None`` runs the baseline ("none")
-    configuration with no service and no monitors.
+    configuration with no service and no monitors.  ``telemetry=None``
+    defers to the process default (``set_default_telemetry`` /
+    ``REPRO_TELEMETRY``); the simulated run is byte-identical either way.
     """
     spec = cluster_spec or summit_like(nodes + agent_nodes + service_nodes)
     session = Session(
-        cluster_spec=spec, config=rp_config, seed=seed, trace=trace
+        cluster_spec=spec,
+        config=rp_config,
+        seed=seed,
+        trace=trace,
+        telemetry=telemetry,
     )
     client = Client(session)
     env = session.env

@@ -27,6 +27,9 @@ class Message:
     sender: str = ""
     sent_at: float = 0.0
     uid: int = field(default_factory=lambda: next(_msg_ids))
+    #: Telemetry baggage (a SpanContext) stamped at send time; pure
+    #: data, never consulted by the simulation itself.
+    ctx: Any = None
 
 
 @dataclass(slots=True)
@@ -39,6 +42,8 @@ class RPCRequest:
     client: str
     sent_at: float
     uid: int = field(default_factory=lambda: next(_msg_ids))
+    #: Telemetry baggage (a SpanContext); see :class:`Message`.
+    ctx: Any = None
 
 
 @dataclass(slots=True)

@@ -34,6 +34,9 @@ class ComponentQueue:
     def put(self, topic: str, body: Any, sender: str = "") -> None:
         """Fire-and-forget enqueue (arrives ``latency`` later)."""
         msg = Message(topic=topic, body=body, sender=sender, sent_at=self.env.now)
+        tel = self.env._telemetry
+        if tel is not None:
+            msg.ctx = tel.current()
         self.enqueued += 1
         # The backing store is unbounded, so delivery cannot block: a
         # plain timer callback replaces a full delivery process (two

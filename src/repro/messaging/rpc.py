@@ -89,6 +89,7 @@ class RPCServer:
         ranks: int = 1,
         base_service_time: float = DEFAULT_BASE_SERVICE_TIME,
         per_byte_service_time: float = DEFAULT_PER_BYTE_SERVICE_TIME,
+        component: str = "rpc-server",
     ) -> None:
         if ranks <= 0:
             raise ValueError("server needs at least one rank")
@@ -96,6 +97,8 @@ class RPCServer:
         self.network = network
         self.node = node
         self.name = name
+        #: Telemetry track this server's serve spans appear on.
+        self.component = component
         self.address = f"ofi+verbs://{name}.{next(RPCServer._ids)}"
         self.ranks = ranks
         self.base_service_time = base_service_time
@@ -129,6 +132,34 @@ class RPCServer:
         self, request: RPCRequest
     ) -> Generator[Event, None, RPCResponse]:
         """Server-side handling: queue for a rank, work, reply."""
+        tel = self.env._telemetry
+        if tel is None:
+            # Telemetry off: no wrapper frame on the hot path.
+            return self._serve_inner(request)
+        return self._serve_traced(tel, request)
+
+    def _serve_traced(
+        self, tel: Any, request: RPCRequest
+    ) -> Generator[Event, None, RPCResponse]:
+        # The request envelope carries the caller's context across the
+        # simulated wire, so server work joins the caller's trace even
+        # though no process ancestry links them.
+        span = tel.start_span(
+            f"rpc.serve:{request.method}",
+            component=self.component,
+            parent=request.ctx,
+            activate=True,
+            server=self.name,
+        )
+        try:
+            response = yield from self._serve_inner(request)
+            return response
+        finally:
+            tel.end_span(span)
+
+    def _serve_inner(
+        self, request: RPCRequest
+    ) -> Generator[Event, None, RPCResponse]:
         if not self.alive:
             # Arrived after a shutdown (in-flight during an outage).
             self.stats.errors += 1
@@ -212,11 +243,14 @@ class RPCClient:
         node: Node | None = None,
         serialize_cost_per_byte: float = 1e-9,
         rng: "np.random.Generator | None" = None,
+        component: str = "rpc-client",
     ) -> None:
         self.env = env
         self.network = network
         self.name = name
         self.node = node
+        #: Telemetry track this client's attempt spans appear on.
+        self.component = component
         self.serialize_cost_per_byte = serialize_cost_per_byte
         #: Source of deterministic backoff jitter for retrying calls.
         self.rng = rng
@@ -283,6 +317,46 @@ class RPCClient:
         payload_bytes: float = 1024.0,
     ) -> Generator[Event, None, RPCResponse]:
         """One bare attempt: serialize, cross the wire, serve, reply."""
+        tel = self.env._telemetry
+        if tel is None:
+            # Telemetry off: hand back the bare attempt generator, no
+            # extra delegation frame on the hot path.
+            return self._attempt(server, method, body, payload_bytes, None)
+        return self._call_traced(tel, server, method, body, payload_bytes)
+
+    def _call_traced(
+        self,
+        tel: Any,
+        server: RPCServer,
+        method: str,
+        body: Any,
+        payload_bytes: float,
+    ) -> Generator[Event, None, RPCResponse]:
+        # One span per attempt; retried calls show one span each, and
+        # the try/finally closes it exactly once even when with_timeout
+        # cancels this generator mid-yield.
+        span = tel.start_span(
+            f"rpc.attempt:{method}",
+            component=self.component,
+            activate=True,
+            server=server.name,
+        )
+        try:
+            response = yield from self._attempt(
+                server, method, body, payload_bytes, span
+            )
+            return response
+        finally:
+            tel.end_span(span)
+
+    def _attempt(
+        self,
+        server: RPCServer,
+        method: str,
+        body: Any,
+        payload_bytes: float,
+        span: Any,
+    ) -> Generator[Event, None, RPCResponse]:
         if not server.alive:
             self.failures += 1
             raise ServiceUnavailable(
@@ -296,6 +370,8 @@ class RPCClient:
             client=self.name,
             sent_at=start,
         )
+        if span is not None:
+            request.ctx = span.context
         # Client-side serialization cost (charged on our node if any).
         ser = payload_bytes * self.serialize_cost_per_byte
         if ser > 0 and self.node is not None:
@@ -330,6 +406,7 @@ class RPCClient:
                 body=body,
                 client=self.name,
                 sent_at=start,
+                ctx=request.ctx,
             )
             self.env.process(
                 _swallow(server._serve(duplicate)),

@@ -71,29 +71,33 @@ class HardwareMonitorModel(ServiceModel):
                 yield env.timeout(self.stagger)
             while True:
                 yield env.timeout(period)
-                snap = procfs.read()
-                util = snap.utilization_since(prev)
-                dt = snap.timestamp - prev_time
-                gpu_util = 0.0
-                if dt > 0 and node.total_gpus > 0:
-                    gpu_util = min(
-                        1.0,
-                        (snap.gpu_busy_seconds - prev_gpu_busy)
-                        / (dt * node.total_gpus),
-                    )
-                prev, prev_time = snap, snap.timestamp
-                prev_gpu_busy = snap.gpu_busy_seconds
-                self.samples += 1
-                self.utilization_series.append((env.now, util, gpu_util))
-                # The cost of reading /proc + building the Conduit tree
-                # is real CPU on this node (reserved core + mem traffic).
-                act = node.inject_jitter(cpu_seconds=SAMPLE_CPU_COST)
-                yield act.done
-                tree = snap.to_conduit()
-                base = f"PROC/{snap.hostname}/{snap.timestamp:.6f}"
-                tree[f"{base}/cpu_utilization"] = round(util, 4)
-                tree[f"{base}/gpu_utilization"] = round(gpu_util, 4)
-                yield from self.client.publish(HARDWARE, tree)
+                with self.session.telemetry.span(
+                    "hwmon.sample", component="monitor", node=node.name
+                ):
+                    snap = procfs.read()
+                    util = snap.utilization_since(prev)
+                    dt = snap.timestamp - prev_time
+                    gpu_util = 0.0
+                    if dt > 0 and node.total_gpus > 0:
+                        gpu_util = min(
+                            1.0,
+                            (snap.gpu_busy_seconds - prev_gpu_busy)
+                            / (dt * node.total_gpus),
+                        )
+                    prev, prev_time = snap, snap.timestamp
+                    prev_gpu_busy = snap.gpu_busy_seconds
+                    self.samples += 1
+                    self.utilization_series.append((env.now, util, gpu_util))
+                    # The cost of reading /proc + building the Conduit
+                    # tree is real CPU on this node (reserved core +
+                    # mem traffic).
+                    act = node.inject_jitter(cpu_seconds=SAMPLE_CPU_COST)
+                    yield act.done
+                    tree = snap.to_conduit()
+                    base = f"PROC/{snap.hostname}/{snap.timestamp:.6f}"
+                    tree[f"{base}/cpu_utilization"] = round(util, 4)
+                    tree[f"{base}/gpu_utilization"] = round(gpu_util, 4)
+                    yield from self.client.publish(HARDWARE, tree)
         except Interrupt:
             pass
         return TaskResult(

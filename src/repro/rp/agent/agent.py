@@ -55,21 +55,24 @@ class Agent:
         pilot.service_nodes = nodes[a : a + s]
         pilot.compute_nodes = nodes[a + s :]
         pilot.bootstrap_started_at = self.env.now
-        self.session.tracer.record(
-            "rp.pilot", pilot.uid, event="bootstrap_start"
-        )
-        # Bootstrap burns real time and shows up as the light-blue band
-        # across all cores in Fig 8.
-        yield self.env.timeout(
-            self.session.jitter(self.session.config.agent_bootstrap_time)
-        )
-        self.scheduler = AgentScheduler(self)
-        self.executor = AgentExecutor(self)
-        pilot.bootstrap_finished_at = self.env.now
-        pilot.advance(PilotState.PMGR_ACTIVE)
-        self.session.tracer.record(
-            "rp.pilot", pilot.uid, event="bootstrap_done"
-        )
+        with self.session.telemetry.span(
+            "agent.bootstrap", component="rp-agent", uid=pilot.uid
+        ):
+            self.session.tracer.record(
+                "rp.pilot", pilot.uid, event="bootstrap_start"
+            )
+            # Bootstrap burns real time and shows up as the light-blue band
+            # across all cores in Fig 8.
+            yield self.env.timeout(
+                self.session.jitter(self.session.config.agent_bootstrap_time)
+            )
+            self.scheduler = AgentScheduler(self)
+            self.executor = AgentExecutor(self)
+            pilot.bootstrap_finished_at = self.env.now
+            pilot.advance(PilotState.PMGR_ACTIVE)
+            self.session.tracer.record(
+                "rp.pilot", pilot.uid, event="bootstrap_done"
+            )
 
     def submit(self, task: Task) -> None:
         """Accept a task from the client (already in agent scope)."""

@@ -96,6 +96,19 @@ class AgentExecutor:
             return
 
     def _execute(self, placement: Placement) -> Generator[Event, object, None]:
+        task = placement.task
+        tel = self.session.telemetry
+        with tel.span(
+            "agent.execute",
+            component="rp-agent",
+            parent=tel.binding(task.uid),
+            uid=task.uid,
+        ):
+            yield from self._execute_inner(placement)
+
+    def _execute_inner(
+        self, placement: Placement
+    ) -> Generator[Event, object, None]:
         cfg = self.session.config
         task = placement.task
         updater = self.agent.updater

@@ -68,6 +68,10 @@ class AgentScheduler:
         #: placement, Sec 4.2); overrides the rotation when set.
         self._node_ranker = None
         self.scheduled_count = 0
+        #: Open "agent.schedule" telemetry spans by task uid — one per
+        #: admitted task, closed at exactly one of the three exits of
+        #: :meth:`_schedule_pass` (placed / unschedulable / canceled).
+        self._spans: dict[str, object] = {}
         self._proc = self.env.process(self._run(), name="agent-scheduler")
 
     # -- interface to the rest of the agent ------------------------------
@@ -152,8 +156,22 @@ class AgentScheduler:
             return -50
         return task.description.priority
 
+    def _end_schedule_span(self, task: Task, **attributes) -> None:
+        span = self._spans.pop(task.uid, None)
+        if span is not None:
+            self.session.telemetry.end_span(span, **attributes)
+
     def _admit(self, task: Task) -> Generator[Event, None, None]:
         """Accept a task into the wait list (AGENT_SCHEDULING)."""
+        tel = self.session.telemetry
+        span = tel.start_span(
+            "agent.schedule",
+            component="rp-agent",
+            parent=tel.binding(task.uid),
+            uid=task.uid,
+        )
+        if span is not None:
+            self._spans[task.uid] = span
         yield from self.agent.updater.advance(task, TaskState.AGENT_SCHEDULING)
         priority = self._admission_priority(task)
         index = len(self._waiting)
@@ -173,6 +191,7 @@ class AgentScheduler:
             task = self._waiting[index]
             if task.is_final:  # canceled while waiting
                 self._waiting.pop(index)
+                self._end_schedule_span(task, outcome="canceled")
                 continue
             eligible = self._eligible_nodes(task)
             if not self._can_ever_fit(task, eligible):
@@ -181,6 +200,7 @@ class AgentScheduler:
                 yield from self.agent.updater.advance(
                     task, TaskState.FAILED, reason="unschedulable"
                 )
+                self._end_schedule_span(task, outcome="unschedulable")
                 continue
             allocations, scanned = self._try_place(task, eligible)
             # The decision cost covers the nodes actually scanned,
@@ -214,6 +234,9 @@ class AgentScheduler:
                     gpus=list(allocation.gpus),
                 )
             self.scheduled_count += 1
+            self._end_schedule_span(
+                task, outcome="placed", nodes=",".join(task.nodelist)
+            )
             self.agent.executor.submit(placement)
             progressed = True
         return progressed

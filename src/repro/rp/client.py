@@ -60,25 +60,28 @@ class PilotManager:
         session = self.session
         pilot = Pilot(self.env, session.new_uid("pilot"), description)
         self.pilots[pilot.uid] = pilot
-        pilot.advance(PilotState.PMGR_LAUNCHING_PENDING)
-        pilot.advance(PilotState.PMGR_LAUNCHING)
-        session.tracer.record("rp.pilot", pilot.uid, event="submit")
+        with session.telemetry.span(
+            f"pilot:{pilot.uid}", component="rp-client", uid=pilot.uid
+        ):
+            pilot.advance(PilotState.PMGR_LAUNCHING_PENDING)
+            pilot.advance(PilotState.PMGR_LAUNCHING)
+            session.tracer.record("rp.pilot", pilot.uid, event="submit")
 
-        job = yield from session.cluster.batch.submit(
-            JobRequest(
-                nodes=description.total_nodes,
-                walltime=description.walltime,
-                name=pilot.uid,
+            job = yield from session.cluster.batch.submit(
+                JobRequest(
+                    nodes=description.total_nodes,
+                    walltime=description.walltime,
+                    name=pilot.uid,
+                )
             )
-        )
-        pilot.job = job
-        pilot.advance(PilotState.PMGR_ACTIVE_PENDING)
-        # Batch launcher overhead before the bootstrapper runs.
-        yield self.env.timeout(session.cluster.spec.job_launch_overhead)
+            pilot.job = job
+            pilot.advance(PilotState.PMGR_ACTIVE_PENDING)
+            # Batch launcher overhead before the bootstrapper runs.
+            yield self.env.timeout(session.cluster.spec.job_launch_overhead)
 
-        agent = Agent(session, pilot)
-        self.agents[pilot.uid] = agent
-        yield from agent.bootstrap(job)
+            agent = Agent(session, pilot)
+            self.agents[pilot.uid] = agent
+            yield from agent.bootstrap(job)
         return pilot
 
     def agent_of(self, pilot: Pilot) -> Agent:
@@ -113,6 +116,7 @@ class TaskManager:
         """Create tasks and start moving them toward the agent."""
         if self._agent is None:
             raise RuntimeError("no pilot attached to this TaskManager")
+        tel = self.session.telemetry
         tasks: list[Task] = []
         for description in descriptions:
             task = Task(
@@ -121,6 +125,24 @@ class TaskManager:
             task.submitted_at = self.env.now
             self.tasks[task.uid] = task
             tasks.append(task)
+            # Root span of the task's causal tree; every later phase
+            # (feed, scheduling, execution, publishes) joins it via the
+            # uid binding.  Closed by a host-only completion callback —
+            # appending to an Event's callback list schedules nothing.
+            span = tel.start_span(
+                f"task:{task.uid}",
+                component="rp-client",
+                uid=task.uid,
+                mode=str(description.mode),
+            )
+            if span is not None:
+                tel.bind(task.uid, span)
+
+                def _close(_event, task=task, span=span) -> None:
+                    tel.end_span(span, state=str(task.state))
+                    tel.unbind(task.uid)
+
+                task.completed.callbacks.append(_close)
             self.env.process(
                 self._feed(task), name=f"tmgr-feed-{task.uid}"
             )
@@ -130,21 +152,27 @@ class TaskManager:
         """Move one task through the client states to the agent."""
         cfg = self.session.config
         session = self.session
-        _record_client_transition(session, task, TaskState.TMGR_SCHEDULING)
-        # Service/monitor tasks bypass input staging so they reach the
-        # agent before any application task submitted alongside them.
-        if cfg.tmgr_latency > 0 and task.is_application:
-            yield self.env.timeout(session.jitter(cfg.tmgr_latency))
-        _record_client_transition(session, task, TaskState.TMGR_STAGING_INPUT)
-        _record_client_transition(
-            session, task, TaskState.AGENT_SCHEDULING_PENDING
-        )
-        if cfg.client_agent_latency > 0:
-            yield self.env.timeout(cfg.client_agent_latency)
-        if task.is_final:
-            return  # canceled while still client-side
-        assert self._agent is not None
-        self._agent.submit(task)
+        with session.telemetry.span(
+            "tmgr.feed",
+            component="rp-client",
+            parent=session.telemetry.binding(task.uid),
+            uid=task.uid,
+        ):
+            _record_client_transition(session, task, TaskState.TMGR_SCHEDULING)
+            # Service/monitor tasks bypass input staging so they reach the
+            # agent before any application task submitted alongside them.
+            if cfg.tmgr_latency > 0 and task.is_application:
+                yield self.env.timeout(session.jitter(cfg.tmgr_latency))
+            _record_client_transition(session, task, TaskState.TMGR_STAGING_INPUT)
+            _record_client_transition(
+                session, task, TaskState.AGENT_SCHEDULING_PENDING
+            )
+            if cfg.client_agent_latency > 0:
+                yield self.env.timeout(cfg.client_agent_latency)
+            if task.is_final:
+                return  # canceled while still client-side
+            assert self._agent is not None
+            self._agent.submit(task)
 
     def wait_tasks(
         self, tasks: Iterable[Task]

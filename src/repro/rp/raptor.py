@@ -45,6 +45,8 @@ class FunctionCall:
     done: Event | None = None
     submitted_at: float = 0.0
     finished_at: float | None = None
+    #: Telemetry baggage (a SpanContext) stamped at submit time.
+    ctx: Any = None
 
 
 class RaptorWorkerModel(ServiceModel):
@@ -64,18 +66,34 @@ class RaptorWorkerModel(ServiceModel):
         try:
             while True:
                 call: FunctionCall = yield inbox.get()
-                placement = ctx.placements[0]
-                act = placement.node.run_compute(
-                    cores=min(call.cores, placement.num_cores),
-                    work=call.duration * placement.node.spec.core_speed,
-                    mem_intensity=call.mem_intensity,
-                    tag=f"raptor-call-{call.uid}",
-                )
-                yield act.done
-                call.finished_at = ctx.env.now
-                if call.fn is not None:
-                    call.result = call.fn()
-                self.master._call_finished(self, call)
+                tel = ctx.env._telemetry
+                span = None
+                if tel is not None:
+                    # The call envelope carries the submitter's context
+                    # across the master/worker hand-off.
+                    span = tel.start_span(
+                        f"raptor.call:{call.uid}",
+                        component="raptor",
+                        parent=call.ctx,
+                        activate=True,
+                        worker=self.uid,
+                    )
+                try:
+                    placement = ctx.placements[0]
+                    act = placement.node.run_compute(
+                        cores=min(call.cores, placement.num_cores),
+                        work=call.duration * placement.node.spec.core_speed,
+                        mem_intensity=call.mem_intensity,
+                        tag=f"raptor-call-{call.uid}",
+                    )
+                    yield act.done
+                    call.finished_at = ctx.env.now
+                    if call.fn is not None:
+                        call.result = call.fn()
+                    self.master._call_finished(self, call)
+                finally:
+                    if tel is not None:
+                        tel.end_span(span)
         except Interrupt:
             pass
         return TaskResult(exit_code=0)
@@ -120,6 +138,9 @@ class RaptorMaster:
         """Queue a function call; returns its completion event."""
         call.done = self.env.event()
         call.submitted_at = self.env.now
+        tel = self.env._telemetry
+        if tel is not None and call.ctx is None:
+            call.ctx = tel.current()
         self._backlog.append(call)
         self._pump()
         return call.done

@@ -19,6 +19,8 @@ from ..platform.cluster import Cluster
 from ..platform.specs import ClusterSpec, summit_like
 from ..sim.core import Environment
 from ..sim.trace import Tracer
+from ..telemetry.bridge import install_tracer_sink
+from ..telemetry.spans import Telemetry
 from .config import DEFAULT_RP_CONFIG, RPConfig
 from .profiler import ProfileStore
 
@@ -38,6 +40,7 @@ class Session:
         config: RPConfig | None = None,
         seed: int = 42,
         trace: bool = True,
+        telemetry: bool | None = None,
     ) -> None:
         self.uid = f"session.{next(Session._ids):04d}"
         self.seed = seed
@@ -48,6 +51,11 @@ class Session:
         self.config = config or DEFAULT_RP_CONFIG
         self.rng = np.random.default_rng(seed)
         self.tracer = Tracer(self.env, enabled=trace)
+        # Always present; when disabled every operation is a no-op and
+        # the kernel never sees it (env._telemetry stays None).
+        self.telemetry = Telemetry(self.env, enabled=telemetry)
+        if self.telemetry.enabled:
+            install_tracer_sink(self.telemetry, self.tracer)
         self.profiles = ProfileStore(
             self.env,
             write_time=self.config.profile_write_time,

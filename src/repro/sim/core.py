@@ -36,6 +36,7 @@ from collections.abc import Generator
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.spans import Telemetry
     from .sanitizer import KernelSanitizer, SanitizerFinding, SharedDict
 
 __all__ = [
@@ -272,6 +273,11 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         if env._sanitizer is not None:
             env._sanitizer.on_process_start(self)
+        if env._telemetry is not None:
+            # Ambient span-context inheritance: the creator is still the
+            # active process here, so the new process adopts its
+            # innermost context (host-only bookkeeping, no events).
+            env._telemetry.on_process_spawn(self)
         Initialize(env, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -361,9 +367,12 @@ class Process(Event):
                 event._defused = True
 
         env._active_process = None
-        if self._value is not PENDING and env._sanitizer is not None:
+        if self._value is not PENDING:
             # The generator terminated in this resume.
-            env._sanitizer.on_process_exit(self)
+            if env._sanitizer is not None:
+                env._sanitizer.on_process_exit(self)
+            if env._telemetry is not None:
+                env._telemetry.on_process_exit(self)
 
 
 class Environment:
@@ -395,6 +404,10 @@ class Environment:
             from .sanitizer import KernelSanitizer
 
             self._sanitizer = KernelSanitizer(self)
+        #: Attached span-tracing hub (:class:`repro.telemetry.Telemetry`
+        #: installs itself here when enabled); None keeps the hot path
+        #: at a single pointer check.
+        self._telemetry: "Telemetry | None" = None
         #: Kernel counters — cheap integers updated on the hot path so
         #: perf benchmarks can observe scheduling behaviour.
         self.events_scheduled = 0
@@ -446,6 +459,11 @@ class Environment:
     def sanitizer(self) -> "KernelSanitizer | None":
         """The attached runtime sanitizer, if ``sanitize`` was enabled."""
         return self._sanitizer
+
+    @property
+    def telemetry(self) -> "Telemetry | None":
+        """The attached span-tracing hub, if one enabled itself."""
+        return self._telemetry
 
     def shared_dict(self, name: str) -> "SharedDict | dict":
         """A mapping opted in to write-between-yields race detection.

@@ -9,7 +9,7 @@ overhead accounting) has a single source of truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from .core import Environment
 
@@ -43,6 +43,11 @@ class Tracer:
         self._records: list[TraceRecord] = []
         self._disabled_categories: set[str] = set()
         self._counts: dict[str, int] = {}
+        #: Optional callback invoked with every *stored* record — the
+        #: telemetry bridge attaches records to spans through it, so no
+        #: subsystem has to log into both layers.  Records suppressed
+        #: by ``enabled``/category toggles never reach the sink.
+        self.sink: "Callable[[TraceRecord], None] | None" = None
 
     def disable_category(self, category: str) -> None:
         self._disabled_categories.add(category)
@@ -55,7 +60,10 @@ class Tracer:
         self._counts[category] = self._counts.get(category, 0) + 1
         if not self.enabled or category in self._disabled_categories:
             return
-        self._records.append(TraceRecord(self.env.now, category, name, data))
+        rec = TraceRecord(self.env.now, category, name, data)
+        self._records.append(rec)
+        if self.sink is not None:
+            self.sink(rec)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -60,6 +60,7 @@ class SomaClient:
             name=name,
             node=node,
             rng=session.stable_rng(f"rpc:{name}"),
+            component="soma-client",
         )
         self._servers: dict[str, RPCServer] = {}
         self.published = 0
@@ -98,27 +99,35 @@ class SomaClient:
         server = yield from self.connect(namespace)
         self._annotate_health(data)
         nbytes = data.nbytes()
-        try:
-            yield from self._rpc.call(
-                server,
-                "publish",
-                body=data,
-                payload_bytes=nbytes,
-                retry=self.retry,
-            )
-        except RPCError as exc:
-            self.publish_failures += 1
-            self.dropped += 1
-            self._gap_since.setdefault(namespace, self.env.now)
-            self.session.tracer.record(
-                "soma.publish_failed",
-                namespace,
-                source=self.name,
-                error=type(exc).__name__,
-            )
-            return False
-        self._close_gap(namespace)
-        self.published += 1
+        with self.session.telemetry.span(
+            f"soma.publish:{namespace}",
+            component="soma-client",
+            source=self.name,
+            nbytes=nbytes,
+        ) as span:
+            try:
+                yield from self._rpc.call(
+                    server,
+                    "publish",
+                    body=data,
+                    payload_bytes=nbytes,
+                    retry=self.retry,
+                )
+            except RPCError as exc:
+                self.publish_failures += 1
+                self.dropped += 1
+                self._gap_since.setdefault(namespace, self.env.now)
+                if span is not None:
+                    span.attributes["dropped"] = True
+                self.session.tracer.record(
+                    "soma.publish_failed",
+                    namespace,
+                    source=self.name,
+                    error=type(exc).__name__,
+                )
+                return False
+            self._close_gap(namespace)
+            self.published += 1
         return True
 
     def query(
@@ -127,9 +136,15 @@ class SomaClient:
         """Online query against a namespace instance."""
         server = yield from self.connect(namespace)
         body = {"kind": kind, **params}
-        response = yield from self._rpc.call(
-            server, "query", body=body, payload_bytes=256.0, retry=self.retry
-        )
+        with self.session.telemetry.span(
+            f"soma.query:{namespace}",
+            component="soma-client",
+            source=self.name,
+            kind=kind,
+        ):
+            response = yield from self._rpc.call(
+                server, "query", body=body, payload_bytes=256.0, retry=self.retry
+            )
         return response.body
 
     # -- degradation bookkeeping ------------------------------------------------

@@ -105,6 +105,7 @@ class SomaServiceModel(ServiceModel):
                 ranks=self.config.ranks_per_namespace,
                 base_service_time=self.config.base_service_time,
                 per_byte_service_time=self.config.per_byte_service_time,
+                component="soma-service",
             )
             server.register("publish", self._make_publish_handler(namespace))
             server.register("query", self._make_query_handler(namespace))
@@ -140,6 +141,14 @@ class SomaServiceModel(ServiceModel):
                 time=self.session.env.now, source=request.client, data=data
             )
             self.publishes += 1
+            # Storage-layer visibility: lands on the active rpc.serve
+            # span (the handler runs inside the server's span).
+            self.session.telemetry.event(
+                "soma.store.append",
+                namespace=namespace,
+                nbytes=record.nbytes,
+                records=len(store),
+            )
             self.session.tracer.record(
                 "soma.publish",
                 namespace,

@@ -59,10 +59,15 @@ def execute_cell(cell: dict) -> dict:
     from ..faults.worker import check_worker_fault
 
     check_worker_fault(cell["key"])
+    telemetry_dir = cell.get("telemetry_dir")
     start = time.perf_counter()  # simlint: disable=wall-clock(host-side sweep timing, not sim state)
-    payload = run_cell(cell["family"], cell["params"], cell["seed"])
+    if telemetry_dir:
+        payload, trace_path = _run_cell_traced(cell, telemetry_dir)
+    else:
+        payload = run_cell(cell["family"], cell["params"], cell["seed"])
+        trace_path = None
     wall = time.perf_counter() - start  # simlint: disable=wall-clock(host-side sweep timing, not sim state)
-    return {
+    record = {
         "key": cell["key"],
         "family": cell["family"],
         "seed": cell["seed"],
@@ -72,6 +77,42 @@ def execute_cell(cell: dict) -> dict:
         "wall_seconds": wall,
         "payload": payload,
     }
+    if trace_path is not None:
+        record["trace"] = trace_path
+    return record
+
+
+def _run_cell_traced(cell: dict, telemetry_dir: str) -> "tuple[dict, str]":
+    """Run one cell with span telemetry on and export its Chrome trace.
+
+    Telemetry holds a hard zero-perturbation contract, so the payload
+    (and therefore the result digest) is byte-identical to an untraced
+    run — only the side-channel trace file differs.
+    """
+    from ..experiments.harness import run_cell
+    from ..telemetry import (
+        chrome_trace,
+        drain_telemetries,
+        merge_chrome_traces,
+        save_chrome_trace,
+        set_default_telemetry,
+    )
+
+    drain_telemetries()  # hubs left over from earlier in-process cells
+    previous = set_default_telemetry(True)
+    try:
+        payload = run_cell(cell["family"], cell["params"], cell["seed"])
+    finally:
+        set_default_telemetry(previous)
+        hubs = drain_telemetries()
+    document = merge_chrome_traces(
+        [chrome_trace(hub, pid=index + 1) for index, hub in enumerate(hubs)]
+    )
+    safe_key = cell["key"].replace("/", "_")
+    path = save_chrome_trace(
+        Path(telemetry_dir) / f"{safe_key}.trace.json", document
+    )
+    return payload, str(path)
 
 
 @dataclass
@@ -127,8 +168,16 @@ def run_sweep(
     resume: bool = False,
     progress: "Callable[[str], None] | None" = None,
     mp_start: str | None = None,
+    telemetry_dir: "str | Path | None" = None,
 ) -> SweepRun:
     """Run every cell of ``spec``, skipping completed ones.
+
+    ``telemetry_dir`` turns on span telemetry in every worker and drops
+    one Chrome trace per cell into that directory.  Traces are a side
+    product of actually running the cell, so it forces every cell to
+    recompute (cache and journal short-circuits are skipped) and
+    disables same-digest deduplication — each cell gets its own trace.
+    Payloads and result digests stay byte-identical to an untraced run.
 
     Returns a :class:`SweepRun`; raises :class:`SweepInterrupted` (with
     the partial run attached) if a worker failed or the pool broke.
@@ -149,6 +198,9 @@ def run_sweep(
     say = progress if progress is not None else (lambda line: None)
     code = code_fingerprint()
     digests = {cell.key: cell.digest(code) for cell in spec}
+    if telemetry_dir is not None:
+        telemetry_dir = Path(telemetry_dir)
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
 
     completed: dict[str, dict] = {}  # key -> record (with payload)
     sources: dict[str, str] = {}
@@ -159,7 +211,10 @@ def run_sweep(
         record = cache.get(digest)
         if record is not None:
             observed[digest] = float(record.get("wall_seconds", 0.0))
-        if record is not None and digest in journalled:
+        if telemetry_dir is not None:
+            # Traces only exist if the cell actually runs; never skip.
+            pending.append(cell)
+        elif record is not None and digest in journalled:
             completed[cell.key] = record
             sources[cell.key] = "journal"
         elif record is not None:
@@ -171,9 +226,16 @@ def run_sweep(
         say(f"skip {key} [{sources[key]}]")
 
     # Deduplicate identical cells (same digest): run once, fan out.
+    # With telemetry every cell is its own group so each key gets its
+    # own trace file.
+    def group_of(cell: CellSpec) -> str:
+        if telemetry_dir is not None:
+            return f"{digests[cell.key]}::{cell.key}"
+        return digests[cell.key]
+
     by_digest: dict[str, list[CellSpec]] = {}
     for cell in pending:
-        by_digest.setdefault(digests[cell.key], []).append(cell)
+        by_digest.setdefault(group_of(cell), []).append(cell)
     to_run = [cells[0] for cells in by_digest.values()]
 
     order = schedule_order(to_run, observed, digests)
@@ -183,10 +245,16 @@ def run_sweep(
     interrupted: str | None = None
     started = time.perf_counter()  # simlint: disable=wall-clock(host-side sweep timing, not sim state)
 
-    def record_completion(record: dict) -> None:
+    def payload_cell(cell: CellSpec) -> dict:
+        out = dict(cell.to_dict(), digest=digests[cell.key])
+        if telemetry_dir is not None:
+            out["telemetry_dir"] = str(telemetry_dir)
+        return out
+
+    def record_completion(record: dict, group: str) -> None:
         digest = record["digest"]
         cache.put(digest, record)
-        for sibling in by_digest[digest]:
+        for sibling in by_digest[group]:
             sib_record = dict(record, key=sibling.key)
             completed[sibling.key] = sib_record
             sources[sibling.key] = "computed"
@@ -207,9 +275,8 @@ def run_sweep(
 
     if jobs == 1:
         for cell in order:
-            payload_cell = dict(cell.to_dict(), digest=digests[cell.key])
             try:
-                record_completion(execute_cell(payload_cell))
+                record_completion(execute_cell(payload_cell(cell)), group_of(cell))
             except Exception as exc:  # worker fault or cell bug
                 failures.append(
                     {
@@ -225,9 +292,7 @@ def run_sweep(
             max_workers=min(jobs, len(order)), mp_context=ctx
         ) as pool:
             futures = {
-                pool.submit(
-                    execute_cell, dict(cell.to_dict(), digest=digests[cell.key])
-                ): cell
+                pool.submit(execute_cell, payload_cell(cell)): cell
                 for cell in order
             }
             outstanding = set(futures)
@@ -238,7 +303,7 @@ def run_sweep(
                 for future in done:
                     cell = futures[future]
                     try:
-                        record_completion(future.result())
+                        record_completion(future.result(), group_of(cell))
                     except BrokenProcessPool:
                         # The OS killed a worker outright; the pool is
                         # gone, but results journalled so far are safe.

@@ -1,0 +1,74 @@
+"""repro.telemetry — causal span tracing, metrics, and exporters.
+
+First-class observability for the simulated stack itself: spans with
+cross-component context propagation (the single causal tree of one
+task's lifecycle across EnTK, RP, raptor, and SOMA), a metrics registry
+absorbing the stack's ad-hoc counters, and exporters to Chrome
+trace-event JSON (Perfetto-loadable), a plain-text flame summary, and
+:class:`~repro.sim.trace.TraceRecord` streams for the analysis layer.
+
+Telemetry is **zero-perturbation** by construction: enabling it changes
+no simulated event, draws no random number, and leaves every result
+digest and kernel counter byte-identical — enforced by the differential
+regression battery in ``tests/telemetry``.
+"""
+
+from .bridge import (
+    install_tracer_sink,
+    render_span_table,
+    spans_to_trace_records,
+    top_critical_spans,
+)
+from .export import (
+    chrome_trace,
+    component_tracks,
+    flame_summary,
+    merge_chrome_traces,
+    save_chrome_trace,
+    validate_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    absorb_kernel_counters,
+    absorb_session,
+    geometric_bounds,
+)
+from .spans import (
+    Span,
+    SpanContext,
+    Telemetry,
+    active_telemetries,
+    default_telemetry,
+    drain_telemetries,
+    set_default_telemetry,
+)
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Telemetry",
+    "set_default_telemetry",
+    "default_telemetry",
+    "active_telemetries",
+    "drain_telemetries",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "geometric_bounds",
+    "absorb_kernel_counters",
+    "absorb_session",
+    "chrome_trace",
+    "merge_chrome_traces",
+    "save_chrome_trace",
+    "validate_chrome_trace",
+    "component_tracks",
+    "flame_summary",
+    "install_tracer_sink",
+    "spans_to_trace_records",
+    "top_critical_spans",
+    "render_span_table",
+]

@@ -1,0 +1,286 @@
+"""Exporters: Chrome trace-event JSON and a plain-text flame summary.
+
+The Chrome trace-event format is the lingua franca of timeline viewers:
+the emitted JSON loads directly in Perfetto (ui.perfetto.dev) and
+``chrome://tracing``.  Spans become ``X`` (complete) events on one
+thread track per component, span annotations become ``i`` (instant)
+events, and metric scalars become ``C`` (counter) events; ``M``
+metadata events name the process and the per-component tracks.
+
+Timestamps are simulated seconds scaled to microseconds (the format's
+unit), so one simulated second reads as one second in the viewer.
+
+``validate_chrome_trace`` is a hand-rolled structural validator (the
+container ships no jsonschema); the export tests and the CI trace-smoke
+step run every emitted document through it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import MetricsRegistry
+    from .spans import Span, Telemetry
+
+__all__ = [
+    "chrome_trace",
+    "merge_chrome_traces",
+    "save_chrome_trace",
+    "validate_chrome_trace",
+    "flame_summary",
+]
+
+#: Chrome trace-event timestamps are microseconds.
+_US = 1e6
+
+
+def _component_order(spans: "list[Span]") -> dict[str, int]:
+    """Component -> tid, in first-seen creation order (deterministic)."""
+    tids: dict[str, int] = {}
+    for span in spans:
+        if span.component not in tids:
+            tids[span.component] = len(tids) + 1
+    return tids
+
+
+def chrome_trace(
+    telemetry: "Telemetry",
+    metrics: "MetricsRegistry | None" = None,
+    pid: int = 1,
+    process_name: str = "repro-sim",
+) -> dict[str, Any]:
+    """Export one hub's spans (+ optional metrics) as a trace document.
+
+    Open spans are clamped to ``env.now`` for display — the span object
+    itself is *not* mutated — and flagged ``unfinished`` in their args.
+    """
+    now = telemetry.env.now
+    tids = _component_order(telemetry.spans)
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for component, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": component},
+            }
+        )
+    for span in telemetry.spans:
+        tid = tids[span.component]
+        end = span.end if span.end is not None else max(now, span.start)
+        args: dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.end is None:
+            args["unfinished"] = True
+        for key, value in span.attributes.items():
+            args.setdefault(key, value)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.component,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": (end - span.start) * _US,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for time, name, attrs in span.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": span.component,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": time * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": dict(attrs, span_id=span.span_id),
+                }
+            )
+    if metrics is not None:
+        for name, value in metrics.scalar_values().items():
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": now * _US,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": value},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merge_chrome_traces(documents: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-hub documents into one (each hub keeps its pid)."""
+    events: list[dict[str, Any]] = []
+    for doc in documents:
+        events.extend(doc["traceEvents"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(path: "str | Path", document: dict[str, Any]) -> Path:
+    """Write a trace document (compact JSON) and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, separators=(",", ":")) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+#: Phases the validator knows; everything else is rejected.
+_KNOWN_PHASES = {"X", "i", "C", "M", "B", "E"}
+
+
+def validate_chrome_trace(document: Any) -> list[str]:
+    """Structural validation of a trace document; returns problems.
+
+    An empty list means the document is a well-formed Chrome trace:
+    required top-level shape, required keys per event phase, numeric
+    non-negative timestamps/durations, integer pid/tid, dict args, and
+    consistent parent/span id references among ``X`` events.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    span_ids: set[int] = set()
+    parent_refs: list[tuple[int, int]] = []
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing/empty name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} must be an int")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args must be an object")
+        if ph == "M":
+            if event["name"] not in ("process_name", "thread_name"):
+                problems.append(f"{where}: unknown metadata {event['name']!r}")
+            if not isinstance(args, dict) or "name" not in args:
+                problems.append(f"{where}: metadata needs args.name")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+            if not isinstance(event.get("cat"), str):
+                problems.append(f"{where}: X events need a cat")
+            if isinstance(args, dict):
+                span_id = args.get("span_id")
+                if isinstance(span_id, int):
+                    span_ids.add(span_id)
+                parent = args.get("parent_id")
+                if isinstance(parent, int):
+                    parent_refs.append((index, parent))
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant events need scope s")
+        if ph == "C":
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter events need args values")
+            elif not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"{where}: counter args must be numeric")
+    for index, parent in parent_refs:
+        if parent not in span_ids:
+            problems.append(
+                f"traceEvents[{index}]: dangling parent_id {parent}"
+            )
+    return problems
+
+
+def component_tracks(document: dict[str, Any]) -> list[str]:
+    """Component track names announced by thread_name metadata."""
+    return [
+        event["args"]["name"]
+        for event in document.get("traceEvents", [])
+        if isinstance(event, dict)
+        and event.get("ph") == "M"
+        and event.get("name") == "thread_name"
+    ]
+
+
+# -- flame summary ----------------------------------------------------
+
+
+def _self_times(telemetry: "Telemetry") -> dict[int, float]:
+    """span_id -> self time (duration minus direct children)."""
+    now = telemetry.env.now
+    self_time = {
+        span.span_id: span.duration(now) for span in telemetry.spans
+    }
+    for span in telemetry.spans:
+        if span.parent_id is not None and span.parent_id in self_time:
+            self_time[span.parent_id] -= span.duration(now)
+    return self_time
+
+
+def flame_summary(telemetry: "Telemetry", top: int = 20) -> str:
+    """Plain-text flame profile aggregated by (component, span name).
+
+    Rows are sorted by aggregate self time (descending, then name) —
+    the same ordering every run, so the output goldens cleanly.
+    """
+    now = telemetry.env.now
+    self_times = _self_times(telemetry)
+    rows: dict[tuple[str, str], list[float]] = {}
+    for span in telemetry.spans:
+        key = (span.component, span.name)
+        entry = rows.setdefault(key, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration(now)
+        entry[2] += self_times[span.span_id]
+    ordered = sorted(
+        rows.items(), key=lambda item: (-item[1][2], item[0])
+    )[: max(0, top)]
+    lines = [
+        "flame summary (by self time, simulated seconds)",
+        f"{'component':<14} {'span':<34} {'count':>6} "
+        f"{'total':>12} {'self':>12}",
+        "-" * 82,
+    ]
+    for (component, name), (count, total, self_t) in ordered:
+        shown = name if len(name) <= 34 else name[:31] + "..."
+        lines.append(
+            f"{component:<14} {shown:<34} {count:>6d} "
+            f"{total:>12.4f} {self_t:>12.4f}"
+        )
+    if not rows:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)

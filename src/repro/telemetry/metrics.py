@@ -1,0 +1,327 @@
+"""Counters, gauges, and bounded-memory streaming histograms.
+
+One :class:`MetricsRegistry` per run absorbs the stack's ad-hoc
+counters — the kernel's scheduling counters, RPC client/server stats,
+SOMA client degradation bookkeeping, fault/retry counts — behind one
+interface, so exporters and regression baselines read a single
+namespace instead of spelunking through component attributes.
+
+Histograms use **deterministic bucket bounds**: a geometric ladder
+computed once from (lo, hi, growth), identical for every run and every
+platform.  Memory per histogram is O(#buckets), independent of the
+number of observations — safe to leave enabled on million-event runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.core import Environment
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "geometric_bounds",
+    "absorb_kernel_counters",
+    "absorb_session",
+]
+
+
+def geometric_bounds(
+    lo: float = 1e-6, hi: float = 1e5, growth: float = 4.0
+) -> tuple[float, ...]:
+    """A deterministic geometric bucket ladder covering [lo, hi].
+
+    Bounds are upper edges; values above the last edge land in the
+    overflow bucket.  Computed by repeated multiplication so the same
+    arguments yield the exact same floats everywhere.
+    """
+    if lo <= 0 or hi <= lo or growth <= 1.0:
+        raise ValueError("need 0 < lo < hi and growth > 1")
+    bounds = [lo]
+    while bounds[-1] < hi:
+        bounds.append(bounds[-1] * growth)
+    return tuple(bounds)
+
+
+#: Default ladder: 1 µs .. ~100 ks of simulated time, 14 buckets.
+DEFAULT_BOUNDS = geometric_bounds()
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down; tracks its running extremes."""
+
+    __slots__ = ("name", "value", "min", "max", "_touched")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self._touched = False
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        if not self._touched:
+            self.min = self.max = value
+            self._touched = True
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Histogram:
+    """Streaming histogram with fixed, deterministic bucket bounds.
+
+    ``counts[i]`` counts observations ``<= bounds[i]`` (first matching
+    bucket); ``counts[-1]`` is the overflow bucket.  Sum/min/max are
+    exact; quantiles are bucket-resolution estimates.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: "tuple[float, ...] | None" = None
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if not self.bounds or any(
+            b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])
+        ):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-upper-bound estimate of the q-quantile (0 < q <= 1)."""
+        if not 0 < q <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for index, count in enumerate(self.counts):
+            running += count
+            if running >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max  # pragma: no cover - running always reaches count
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: "dict[str, Counter | Gauge | Histogram]" = {}
+
+    def _get(self, name: str, kind: type, factory) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: "tuple[float, ...] | None" = None
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> "Counter | Gauge | Histogram | None":
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All metrics, name-sorted, as plain JSON-able data."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def scalar_values(self) -> dict[str, float]:
+        """Counter/gauge values only (what the Chrome exporter plots)."""
+        out: dict[str, float] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, (Counter, Gauge)):
+                out[name] = metric.value
+        return out
+
+
+# -- absorption of the stack's ad-hoc counters ------------------------
+
+
+def absorb_kernel_counters(
+    registry: MetricsRegistry, env: "Environment"
+) -> None:
+    """Fold the kernel's scheduling counters into the registry."""
+    for key, value in env.kernel_counters().items():
+        registry.gauge(f"kernel.{key}").set(value)
+
+
+def _absorb_rpc_client(registry: MetricsRegistry, prefix: str, rpc) -> None:
+    registry.counter(f"{prefix}.calls").inc(rpc.calls)
+    registry.counter(f"{prefix}.failures").inc(rpc.failures)
+    registry.counter(f"{prefix}.retries").inc(rpc.retries)
+    registry.counter(f"{prefix}.timeouts").inc(rpc.timeouts)
+    if rpc.calls:
+        registry.histogram(f"{prefix}.rtt").observe(rpc.mean_rtt)
+
+
+def absorb_session(
+    registry: MetricsRegistry,
+    session,
+    client=None,
+    deployment=None,
+) -> None:
+    """Absorb one run's component counters (kernel, RP, SOMA, faults).
+
+    Reads attributes only — never mutates the session — so it is safe
+    to call at any point, including after the run.
+    """
+    absorb_kernel_counters(registry, session.env)
+    for category in sorted(session.tracer.categories()):
+        registry.counter(f"trace.records.{category}").inc(
+            session.tracer.count(category)
+        )
+    registry.counter("rp.profiles.records").inc(len(session.profiles))
+    registry.counter("rp.profiles.reads").inc(session.profiles.reads)
+    registry.counter("rp.profiles.writes").inc(session.profiles.writes)
+    registry.counter("rp.profiles.rejected").inc(session.profiles.rejected)
+    if client is not None:
+        agent = None
+        if client.pilot is not None:
+            agent = client.pilot_manager.agents.get(client.pilot.uid)
+        if agent is not None:
+            registry.counter("rp.updater.dropped_records").inc(
+                agent.updater.dropped_records
+            )
+            if agent.scheduler is not None:
+                registry.counter("rp.scheduler.scheduled").inc(
+                    agent.scheduler.scheduled_count
+                )
+            if agent.executor is not None:
+                registry.counter("rp.executor.launched").inc(
+                    agent.executor.launched
+                )
+                registry.counter("rp.executor.completed").inc(
+                    agent.executor.completed
+                )
+                registry.counter("rp.executor.failed").inc(
+                    agent.executor.failed
+                )
+        for task in client.task_manager.tasks.values():
+            duration = task.execution_time
+            if duration is not None:
+                registry.histogram("rp.task.duration").observe(duration)
+    if deployment is not None and deployment.enabled:
+        clients = list(deployment.hw_monitor_models())
+        if deployment.rp_monitor_model is not None:
+            clients.append(deployment.rp_monitor_model)
+        for model in clients:
+            soma = model.client
+            if soma is None:
+                continue
+            registry.counter("soma.client.published").inc(soma.published)
+            registry.counter("soma.client.dropped").inc(soma.dropped)
+            registry.counter("soma.client.gaps").inc(soma.gaps)
+            registry.counter("soma.client.gap_seconds").inc(soma.gap_seconds)
+            _absorb_rpc_client(registry, "soma.client.rpc", soma._rpc)
+        model = deployment.service_model
+        if model is not None:
+            registry.counter("soma.service.publishes").inc(model.publishes)
+            for namespace in sorted(model.servers):
+                stats = model.servers[namespace].stats
+                prefix = f"soma.service.{namespace}"
+                registry.counter(f"{prefix}.calls").inc(stats.calls)
+                registry.counter(f"{prefix}.errors").inc(stats.errors)
+                registry.counter(f"{prefix}.bytes").inc(stats.bytes)
+                registry.gauge(f"{prefix}.busy_time").set(stats.busy_time)
+                registry.gauge(f"{prefix}.queue_time").set(stats.queue_time)
+
+
+def observe_all(histogram: Histogram, values: Iterable[float]) -> None:
+    """Feed an iterable of samples into a histogram."""
+    for value in values:
+        histogram.observe(value)

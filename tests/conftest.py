@@ -22,6 +22,23 @@ def pytest_configure(config) -> None:
 
 
 @pytest.fixture(autouse=True)
+def _telemetry_guard():
+    """Isolate the process-wide telemetry default and hub registry.
+
+    A test that flips ``set_default_telemetry`` or leaves enabled hubs
+    in the ``_ACTIVE`` registry must not leak that state into its
+    neighbours.
+    """
+    from repro.telemetry import drain_telemetries, set_default_telemetry
+
+    previous = set_default_telemetry(None)
+    drain_telemetries()
+    yield
+    set_default_telemetry(previous)
+    drain_telemetries()
+
+
+@pytest.fixture(autouse=True)
 def _sanitizer_guard(request):
     """Fail any test whose simulated runs leak resources or race."""
     drain_spontaneous_findings()

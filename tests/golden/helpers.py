@@ -1,0 +1,42 @@
+"""Golden-snapshot comparison helper.
+
+Goldens live in ``tests/golden/data/``.  A failing comparison prints a
+unified diff; regenerate deliberately with::
+
+    REPRO_UPDATE_GOLDENS=1 python -m pytest tests/golden -q
+
+and review the diff in version control like any other code change.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from pathlib import Path
+
+DATA = Path(__file__).parent / "data"
+
+
+def check_golden(name: str, text: str) -> None:
+    path = DATA / name
+    if os.environ.get("REPRO_UPDATE_GOLDENS", "").strip() == "1":
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    if not path.exists():
+        raise AssertionError(
+            f"golden {name!r} missing; run with REPRO_UPDATE_GOLDENS=1 "
+            "to create it"
+        )
+    expected = path.read_text(encoding="utf-8")
+    if text != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                text.splitlines(),
+                fromfile=f"golden/{name}",
+                tofile="actual",
+                lineterm="",
+            )
+        )
+        raise AssertionError(f"golden {name!r} drifted:\n{diff}")

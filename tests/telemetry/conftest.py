@@ -1,0 +1,31 @@
+"""Shared fixtures for the telemetry battery.
+
+``traced_ddmd`` runs the DDMD tuning experiment once per session with
+telemetry on and hands out the (result, hub) pair — the experiment
+exercises every instrumented component (EnTK, RP client/agent, SOMA
+client/service, monitors), so one run backs all export/bridge/analysis
+assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import drain_telemetries, set_default_telemetry
+
+TRACED_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def traced_ddmd():
+    from repro.experiments import run_ddmd_experiment, tuning_experiment
+
+    previous = set_default_telemetry(True)
+    drain_telemetries()
+    try:
+        result = run_ddmd_experiment(tuning_experiment(), seed=TRACED_SEED)
+    finally:
+        set_default_telemetry(previous)
+        hubs = drain_telemetries()
+    assert len(hubs) == 1, "one Session => one telemetry hub"
+    return result, hubs[0]

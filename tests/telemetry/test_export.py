@@ -1,0 +1,197 @@
+"""Chrome trace-event export, validation, and flame summary."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim import Environment
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    chrome_trace,
+    component_tracks,
+    drain_telemetries,
+    flame_summary,
+    merge_chrome_traces,
+    save_chrome_trace,
+    validate_chrome_trace,
+)
+
+US = 1e6
+
+
+def _hub() -> Telemetry:
+    """A small deterministic span tree on a bare environment.
+
+    root(a) [0..10] -> child(b) [2..5] with one annotation; plus an
+    open span on track a.  Times are driven via a trivial process.
+    """
+    env = Environment()
+    tel = Telemetry(env, enabled=True)
+
+    def build():
+        root = tel.start_span("root", component="a", activate=True, uid="r")
+        yield env.timeout(2.0)
+        child = tel.start_span("child", component="b")
+        tel.add_event(child, "tick", n=1)
+        yield env.timeout(3.0)
+        tel.end_span(child)
+        yield env.timeout(5.0)
+        tel.end_span(root)
+        tel.start_span("hanging", component="a")
+        yield env.timeout(1.0)
+
+    env.run(env.process(build()))
+    drain_telemetries()
+    return tel
+
+
+def _events(doc, ph=None):
+    return [
+        e
+        for e in doc["traceEvents"]
+        if ph is None or e.get("ph") == ph
+    ]
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace(_hub())
+    assert validate_chrome_trace(doc) == []
+    assert doc["displayTimeUnit"] == "ms"
+
+    meta = _events(doc, "M")
+    names = {e["name"] for e in meta}
+    assert names == {"process_name", "thread_name"}
+    assert component_tracks(doc) == ["a", "b"]
+
+    complete = _events(doc, "X")
+    by_name = {e["name"]: e for e in complete}
+    root = by_name["root"]
+    assert root["ts"] == 0.0 and root["dur"] == 10.0 * US
+    assert root["cat"] == "a"
+    assert root["args"]["uid"] == "r"
+    assert "parent_id" not in root["args"]
+    child = by_name["child"]
+    assert child["ts"] == 2.0 * US and child["dur"] == 3.0 * US
+    assert child["args"]["parent_id"] == root["args"]["span_id"]
+    # The two components sit on distinct thread tracks.
+    assert root["tid"] != child["tid"]
+
+
+def test_open_spans_are_clamped_and_flagged():
+    hub = _hub()
+    doc = chrome_trace(hub)
+    hanging = next(
+        e for e in _events(doc, "X") if e["name"] == "hanging"
+    )
+    assert hanging["args"]["unfinished"] is True
+    assert hanging["ts"] == 10.0 * US
+    assert hanging["dur"] == 1.0 * US  # clamped to env.now
+    # Export never mutates the span itself.
+    assert hub.open_spans()[0].end is None
+
+
+def test_annotations_become_instant_events():
+    doc = chrome_trace(_hub())
+    (instant,) = _events(doc, "i")
+    assert instant["name"] == "tick"
+    assert instant["s"] == "t"
+    assert instant["ts"] == 2.0 * US
+    assert instant["args"]["n"] == 1
+
+
+def test_metrics_become_counter_events():
+    reg = MetricsRegistry()
+    reg.counter("soma.client.published").inc(5)
+    reg.histogram("ignored").observe(1.0)
+    doc = chrome_trace(_hub(), metrics=reg)
+    (counter,) = _events(doc, "C")
+    assert counter["name"] == "soma.client.published"
+    assert counter["args"] == {"value": 5.0}
+    assert validate_chrome_trace(doc) == []
+
+
+def test_merge_keeps_per_hub_pids():
+    a, b = chrome_trace(_hub(), pid=1), chrome_trace(_hub(), pid=2)
+    merged = merge_chrome_traces([a, b])
+    assert validate_chrome_trace(merged) == []
+    pids = {e["pid"] for e in merged["traceEvents"]}
+    assert pids == {1, 2}
+    assert len(merged["traceEvents"]) == len(a["traceEvents"]) * 2
+
+
+def test_save_writes_compact_json(tmp_path):
+    doc = chrome_trace(_hub())
+    path = save_chrome_trace(tmp_path / "deep" / "trace.json", doc)
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert ": " not in text  # compact separators
+    assert json.loads(text) == doc
+
+
+def test_validator_rejects_malformed_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def problems(event):
+        return validate_chrome_trace({"traceEvents": [event]})
+
+    ok = {
+        "name": "s",
+        "cat": "c",
+        "ph": "X",
+        "ts": 0,
+        "dur": 1,
+        "pid": 1,
+        "tid": 1,
+        "args": {"span_id": 1},
+    }
+    assert problems(ok) == []
+    assert problems(dict(ok, ph="Q"))  # unknown phase
+    assert problems(dict(ok, name=""))  # empty name
+    assert problems(dict(ok, pid="one"))  # non-int pid
+    assert problems(dict(ok, ts=-5))  # negative timestamp
+    assert problems(dict(ok, dur=None))  # X needs dur
+    assert problems({**ok, "args": {"span_id": 1, "parent_id": 99}})
+    assert problems(
+        {"name": "i", "ph": "i", "ts": 0, "pid": 1, "tid": 1, "s": "q"}
+    )
+    assert problems(
+        {"name": "c", "ph": "C", "ts": 0, "pid": 1, "tid": 1,
+         "args": {"v": "NaNish"}}
+    )
+    assert problems(
+        {"name": "bogus", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "x"}}
+    )
+
+
+def test_flame_summary_orders_by_self_time():
+    text = flame_summary(_hub())
+    lines = text.splitlines()
+    assert lines[0].startswith("flame summary")
+    rows = lines[3:]
+    # root: dur 10 minus child 3 => self 7; child: 3; hanging: 1.
+    assert rows[0].split()[:2] == ["a", "root"]
+    assert rows[1].split()[:2] == ["b", "child"]
+    assert rows[2].split()[:2] == ["a", "hanging"]
+    assert "7.0000" in rows[0]
+    assert "3.0000" in rows[1]
+
+
+def test_flame_summary_empty_hub():
+    env = Environment()
+    tel = Telemetry(env, enabled=True)
+    drain_telemetries()
+    assert "(no spans recorded)" in flame_summary(tel)
+
+
+# -- against a real run ------------------------------------------------
+
+
+def test_real_run_exports_validate(traced_ddmd):
+    _result, hub = traced_ddmd
+    doc = chrome_trace(hub)
+    assert validate_chrome_trace(doc) == []
+    tracks = component_tracks(doc)
+    assert len(tracks) >= 4
+    assert {"entk", "rp-client", "rp-agent", "soma-service"} <= set(tracks)

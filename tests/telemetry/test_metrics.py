@@ -1,0 +1,171 @@
+"""Unit tests for the metrics registry and counter absorption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    absorb_kernel_counters,
+    absorb_session,
+    geometric_bounds,
+)
+from repro.telemetry.metrics import DEFAULT_BOUNDS, observe_all
+
+
+# -- bucket ladder -----------------------------------------------------
+
+
+def test_geometric_bounds_deterministic_and_increasing():
+    a = geometric_bounds(1e-6, 1e5, 4.0)
+    b = geometric_bounds(1e-6, 1e5, 4.0)
+    assert a == b == DEFAULT_BOUNDS
+    assert all(x < y for x, y in zip(a, a[1:]))
+    assert a[0] == 1e-6
+    assert a[-1] >= 1e5
+
+
+@pytest.mark.parametrize(
+    "lo,hi,growth", [(0.0, 1.0, 2.0), (1.0, 0.5, 2.0), (1.0, 2.0, 1.0)]
+)
+def test_geometric_bounds_rejects_bad_arguments(lo, hi, growth):
+    with pytest.raises(ValueError):
+        geometric_bounds(lo, hi, growth)
+
+
+# -- metric primitives -------------------------------------------------
+
+
+def test_counter_monotonic():
+    c = Counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.snapshot() == {"type": "counter", "value": 3.5}
+
+
+def test_gauge_tracks_extremes():
+    g = Gauge("g")
+    g.set(5.0)
+    g.set(-2.0)
+    g.set(3.0)
+    assert (g.value, g.min, g.max) == (3.0, -2.0, 5.0)
+    assert g.snapshot()["min"] == -2.0
+
+
+def test_gauge_first_set_defines_both_extremes():
+    g = Gauge("g")
+    g.set(7.0)
+    assert (g.min, g.max) == (7.0, 7.0)
+
+
+def test_histogram_bucketing_and_overflow():
+    h = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+        h.observe(value)
+    # Bucket i holds bounds[i-1] <= v < bounds[i]; last slot is overflow.
+    assert h.counts == [1, 2, 1, 1]
+    assert h.count == 5
+    assert h.sum == 556.5
+    assert (h.min, h.max) == (0.5, 500.0)
+    assert h.mean == pytest.approx(556.5 / 5)
+
+
+def test_histogram_quantiles_are_bucket_bounds():
+    h = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    observe_all(h, [0.5, 2.0, 3.0, 20.0])
+    assert h.quantile(0.25) == 1.0
+    assert h.quantile(0.75) == 10.0
+    assert h.quantile(1.0) == 100.0
+    h.observe(5000.0)  # overflow bucket resolves to the exact max
+    assert h.quantile(1.0) == 5000.0
+    with pytest.raises(ValueError):
+        h.quantile(0.0)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(1.0, 1.0, 2.0))
+
+
+def test_histogram_memory_independent_of_observations():
+    h = Histogram("h")
+    for i in range(10_000):
+        h.observe(i * 0.01)
+    assert len(h.counts) == len(h.bounds) + 1
+
+
+# -- registry ----------------------------------------------------------
+
+
+def test_registry_get_or_create_and_type_guard():
+    reg = MetricsRegistry()
+    c = reg.counter("a")
+    assert reg.counter("a") is c
+    with pytest.raises(TypeError):
+        reg.gauge("a")
+    assert "a" in reg
+    assert len(reg) == 1
+    assert reg.get("missing") is None
+
+
+def test_registry_snapshot_is_name_sorted():
+    reg = MetricsRegistry()
+    reg.counter("z").inc()
+    reg.gauge("a").set(1.0)
+    reg.histogram("m").observe(2.0)
+    snap = reg.snapshot()
+    assert list(snap) == ["a", "m", "z"]
+    assert snap["z"]["type"] == "counter"
+    assert snap["m"]["type"] == "histogram"
+
+
+def test_scalar_values_excludes_histograms():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(3)
+    reg.gauge("g").set(4.0)
+    reg.histogram("h").observe(5.0)
+    assert reg.scalar_values() == {"c": 3.0, "g": 4.0}
+
+
+# -- absorption --------------------------------------------------------
+
+
+def test_absorb_kernel_counters(env):
+    def proc():
+        yield env.timeout(1.0)
+
+    env.run(env.process(proc()))
+    reg = MetricsRegistry()
+    absorb_kernel_counters(reg, env)
+    for key, value in env.kernel_counters().items():
+        metric = reg.get(f"kernel.{key}")
+        assert metric is not None and metric.value == value
+
+
+def test_absorb_session_covers_the_stack(traced_ddmd):
+    result, _hub = traced_ddmd
+    reg = MetricsRegistry()
+    absorb_session(reg, result.session, result.client, result.deployment)
+    names = reg.names()
+    assert "kernel.events_executed" in names
+    assert "rp.scheduler.scheduled" in names
+    assert "rp.executor.completed" in names
+    assert "soma.client.published" in names
+    assert "soma.service.publishes" in names
+    task_hist = reg.get("rp.task.duration")
+    assert isinstance(task_hist, Histogram)
+    assert task_hist.count == len(
+        [t for t in result.tasks.values() if t.execution_time is not None]
+    )
+    assert task_hist.count > 0
+    # Absorption is read-only and repeatable: a second registry sees
+    # identical values.
+    again = MetricsRegistry()
+    absorb_session(again, result.session, result.client, result.deployment)
+    assert again.snapshot() == reg.snapshot()

@@ -1,0 +1,95 @@
+"""The zero-perturbation contract, enforced differentially.
+
+Telemetry on must be invisible to the simulation: for the same seed,
+the full event-trace digest, every kernel counter, and the finish time
+are byte-identical with the span machinery enabled and disabled.  Any
+instrumentation that schedules an event, draws randomness, or perturbs
+iteration order breaks one of these digests for some seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.experiments import (
+    TUNING,
+    run_ddmd_experiment,
+    run_openfoam_experiment,
+    tuning_experiment,
+)
+from repro.sweep.spec import result_digest
+from repro.telemetry import drain_telemetries, set_default_telemetry
+
+from tests.faults.harness import trace_signature
+
+SEEDS = (3, 17, 33)
+
+
+def _fingerprint(result) -> tuple[str, dict, float]:
+    signature = trace_signature(result.session)
+    digest = hashlib.sha256(signature.encode()).hexdigest()
+    return digest, dict(result.session.env.kernel_counters()), result.finished_at
+
+
+def _differential(run, telemetry_expected_spans=True):
+    previous = set_default_telemetry(False)
+    try:
+        baseline = _fingerprint(run())
+        assert drain_telemetries() == []
+        set_default_telemetry(True)
+        result = run()
+        traced = _fingerprint(result)
+        hubs = drain_telemetries()
+    finally:
+        set_default_telemetry(previous)
+        drain_telemetries()
+    assert len(hubs) == 1
+    hub = hubs[0]
+    if telemetry_expected_spans:
+        assert hub.spans, "telemetry on must actually record spans"
+        assert hub.double_closes == 0
+    return baseline, traced
+
+
+def test_openfoam_trace_is_byte_identical_per_seed():
+    for seed in SEEDS:
+        baseline, traced = _differential(
+            lambda: run_openfoam_experiment(TUNING, seed=seed)
+        )
+        assert baseline[0] == traced[0], f"trace digest drifted (seed {seed})"
+        assert baseline[1] == traced[1], (
+            f"kernel counters drifted (seed {seed})"
+        )
+        assert baseline[2] == traced[2], f"finish time drifted (seed {seed})"
+
+
+def test_ddmd_trace_is_byte_identical():
+    import itertools
+
+    from repro.entk.pipeline import Pipeline
+    from repro.entk.stage import Stage
+
+    def run():
+        # EnTK uids come from process-global counters; pin them so the
+        # two runs are comparable (run-order, not telemetry, state).
+        Pipeline._ids = itertools.count()
+        Stage._ids = itertools.count()
+        return run_ddmd_experiment(tuning_experiment(), seed=3)
+
+    baseline, traced = _differential(run)
+    assert baseline == traced
+
+
+def test_sweep_cell_payload_digest_is_identical():
+    """The sweep-visible result digest cannot depend on telemetry."""
+    from repro.experiments.harness import run_cell
+
+    previous = set_default_telemetry(False)
+    try:
+        off = result_digest(run_cell("ddmd", {"preset": "tuning"}, 3))
+        set_default_telemetry(True)
+        on = result_digest(run_cell("ddmd", {"preset": "tuning"}, 3))
+    finally:
+        set_default_telemetry(previous)
+        drain_telemetries()
+    assert off == on
