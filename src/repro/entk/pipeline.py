@@ -19,6 +19,16 @@ class Pipeline:
 
     _ids = itertools.count()
 
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart uid minting (per-run, for in-process repeatability).
+
+        Uids land in trace records, so two identical runs in one
+        process must not keep counting where the previous run stopped
+        — the experiment harness resets the counter per workflow.
+        """
+        cls._ids = itertools.count()
+
     def __init__(self, name: str = "", stages: list[Stage] | None = None) -> None:
         self.uid = f"pipeline.{next(Pipeline._ids):04d}"
         self.name = name or self.uid

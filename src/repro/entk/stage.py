@@ -23,6 +23,11 @@ class Stage:
 
     _ids = itertools.count()
 
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart uid minting (see :meth:`Pipeline.reset_ids`)."""
+        cls._ids = itertools.count()
+
     def __init__(
         self,
         name: str = "",

@@ -138,6 +138,18 @@ def run_workflow(
     defers to the process default (``set_default_telemetry`` /
     ``REPRO_TELEMETRY``); the simulated run is byte-identical either way.
     """
+    # Restart process-global uid mints so a workflow's trace stream
+    # depends only on (workload, seed, config) — never on how many
+    # runs this process executed before.  The differential event-queue
+    # battery and the seed-sweep determinism tests rely on this.
+    from ..entk.pipeline import Pipeline
+    from ..entk.stage import Stage
+    from ..rp import raptor
+
+    Pipeline.reset_ids()
+    Stage.reset_ids()
+    raptor.reset_ids()
+
     spec = cluster_spec or summit_like(nodes + agent_nodes + service_nodes)
     session = Session(
         cluster_spec=spec,

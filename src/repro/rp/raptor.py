@@ -29,6 +29,18 @@ _call_ids = itertools.count()
 _worker_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart uid minting (per-run, for in-process repeatability).
+
+    Call/worker uids reach telemetry and trace payloads; the
+    experiment harness resets them per workflow so repeated runs in
+    one process stay byte-identical.
+    """
+    global _call_ids, _worker_ids
+    _call_ids = itertools.count()
+    _worker_ids = itertools.count()
+
+
 @dataclass(slots=True)
 class FunctionCall:
     """One function invocation dispatched through RAPTOR."""

@@ -1,0 +1,512 @@
+"""Event-queue backends: binary heap and bucketed calendar queue.
+
+The :class:`~repro.sim.core.Environment` keeps every scheduled event in
+one totally ordered pending set keyed by ``(time, priority, eid)``.  Two
+interchangeable backends implement that set:
+
+* :class:`HeapEventQueue` — the historical single binary heap.  Every
+  push and pop costs O(log n) over the *whole* pending population, which
+  at Summit scale (10^5-10^6 pending task completions, monitor timers,
+  and retry deadlines) makes the event kernel the dominant cost.
+* :class:`CalendarEventQueue` — a bucketed calendar queue.  Pending
+  entries are partitioned into integer time buckets of dynamic width;
+  only the *current* bucket is kept heap-ordered, so the hot zero-delay
+  traffic (resource grants, store dispatch, RPC hops — the large
+  majority of events) costs O(log b) where b is the current-bucket
+  population, independent of how many far-future timers are pending.
+  Far-future entries beyond a fixed horizon sit in a heap-backed
+  overflow band and are migrated into buckets lazily as the clock
+  approaches them.
+
+Both backends drain entries in exactly the same total order — the full
+``(time, priority, eid)`` tuple order — which the differential test
+battery (``tests/properties/test_calqueue_equivalence.py``,
+``tests/integration/test_event_queue_differential.py``) verifies down to
+byte-identical run digests.  Because ``eid`` is unique, the order is
+total and there is no tie left for the backend to break.
+
+Ordering argument (sketch; the full version is DESIGN.md §3e): the
+bucket key ``trunc(time * inv_width)`` is monotone non-decreasing in
+``time``, so for any two entries ``key(a) < key(b)`` implies
+``a.time < b.time``.  The queue maintains the invariant that every
+entry outside the current bucket has a key strictly greater than
+``cur_key``, hence a time strictly greater than every entry inside it;
+the current bucket itself is a heap over full entry tuples.  Advancing
+selects the minimal key over buckets and overflow and drains *all*
+entries of that key, so pops are globally sorted.
+
+Selection: ``Environment(event_queue=...)`` >
+:func:`set_default_event_queue` > ``REPRO_EVENT_QUEUE`` > ``calendar``.
+The ``heap`` escape hatch exists for the differential tests and for
+bisecting any future ordering regression back to one backend.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heapify, heappop, heappush
+from typing import Any
+
+__all__ = [
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "make_event_queue",
+    "default_event_queue",
+    "set_default_event_queue",
+    "EVENT_QUEUE_BACKENDS",
+]
+
+#: Recognized backend names.
+EVENT_QUEUE_BACKENDS = ("heap", "calendar")
+
+#: Process-wide default for ``Environment(event_queue=None)``; ``None``
+#: defers to the ``REPRO_EVENT_QUEUE`` environment variable.
+_DEFAULT_EVENT_QUEUE: str | None = None
+
+_INF = float("inf")
+
+
+def set_default_event_queue(backend: str | None) -> str | None:
+    """Set the process-wide backend default; returns the previous value.
+
+    The differential tests use this to run the same experiment twice —
+    once per backend — inside one process.
+    """
+    global _DEFAULT_EVENT_QUEUE
+    if backend is not None and backend not in EVENT_QUEUE_BACKENDS:
+        raise ValueError(
+            f"unknown event queue backend {backend!r}; "
+            f"expected one of {EVENT_QUEUE_BACKENDS}"
+        )
+    previous, _DEFAULT_EVENT_QUEUE = _DEFAULT_EVENT_QUEUE, backend
+    return previous
+
+
+def default_event_queue() -> str:
+    """Effective default backend (override > env var > ``calendar``)."""
+    if _DEFAULT_EVENT_QUEUE is not None:
+        return _DEFAULT_EVENT_QUEUE
+    backend = os.environ.get("REPRO_EVENT_QUEUE", "").strip().lower()
+    if not backend:
+        return "calendar"
+    if backend not in EVENT_QUEUE_BACKENDS:
+        raise ValueError(
+            f"REPRO_EVENT_QUEUE={backend!r} is not one of "
+            f"{EVENT_QUEUE_BACKENDS}"
+        )
+    return backend
+
+
+def make_event_queue(backend: str, origin: float = 0.0):
+    """Build the named backend, anchored at simulated time ``origin``."""
+    if backend == "heap":
+        return HeapEventQueue()
+    if backend == "calendar":
+        return CalendarEventQueue(origin=origin)
+    raise ValueError(
+        f"unknown event queue backend {backend!r}; "
+        f"expected one of {EVENT_QUEUE_BACKENDS}"
+    )
+
+
+class HeapEventQueue:
+    """The historical backend: one binary heap over all pending entries."""
+
+    __slots__ = ("_heap",)
+
+    backend = "heap"
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+
+    def push(self, entry: tuple) -> None:
+        heappush(self._heap, entry)
+
+    def pop(self) -> tuple:
+        return heappop(self._heap)
+
+    def next_time(self) -> float:
+        """Time of the earliest pending entry (``inf`` when empty)."""
+        heap = self._heap
+        return heap[0][0] if heap else _INF
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def stats(self) -> dict[str, Any]:
+        return {"backend": "heap", "pending": len(self._heap)}
+
+
+# Calendar tuning constants.  The horizon bounds how many bucket-widths
+# ahead of the current bucket entries are kept in the keyed bucket map;
+# anything further out lives in the overflow heap until the clock gets
+# close.  The migrate window amortizes overflow drains: one advance into
+# the overflow band pulls a whole window of buckets across at once.
+_HORIZON = 4096
+_MIGRATE_WINDOW = 1024
+#: Bucket keys at or beyond this magnitude are not materialized as ints
+#: (guards ``inf`` timestamps and absurd widths); such entries stay in
+#: the overflow heap and drain through it in plain tuple order.
+_KEY_CAP = float(1 << 62)
+#: Resize policy.  The two failure modes of a fixed width have
+#: *different* observable signatures, so each direction has its own
+#: trigger:
+#:
+#: * Width too narrow → the clock advances through a stream of
+#:   near-empty buckets, paying Python-level advance overhead per
+#:   bucket.  Detected at advance time: every ``_RESIZE_INTERVAL``
+#:   advances, a mean drained-bucket occupancy below
+#:   ``_OCCUPANCY_LOW`` grows the width geometrically.
+#: * Width too wide → the current bucket degenerates into one big
+#:   heap (the exact regime the calendar exists to avoid).  This is
+#:   *invisible* at advance time — a width that swallows the whole
+#:   pending horizon may never advance at all — so it is detected on
+#:   the pop path instead: every ``_CUR_SAMPLE`` pops, a current
+#:   bucket holding at least ``_CUR_HIGH`` entries whose times
+#:   actually spread (same-instant bursts are unsplittable by any
+#:   width) is split by rebuilding at ``span / size *
+#:   _TARGET_OCCUPANCY`` — one rebuild straight to a width that puts
+#:   ~``_TARGET_OCCUPANCY`` entries per bucket.
+#:
+#: An advance-occupancy *shrink* trigger was deliberately rejected:
+#: crowded-but-popping-fine buckets (completion waves) shrink-spiral
+#: the width, which evicts the short-delay hot traffic from the cheap
+#: current-bucket push path into the bucket map and measurably slows
+#: real workloads down.
+_RESIZE_INTERVAL = 256
+_OCCUPANCY_LOW = 1.2
+_RESIZE_FACTOR = 4.0
+_CUR_SAMPLE = 4096
+_CUR_HIGH = 32768
+_TARGET_OCCUPANCY = 16.0
+_MIN_WIDTH = 1e-6
+_MAX_WIDTH = 1e6
+
+
+class CalendarEventQueue:
+    """Bucketed calendar queue over ``(time, priority, eid, event)`` tuples.
+
+    Layout:
+
+    * ``_cur`` — the current bucket, a heap over full entry tuples.
+      All pushes with ``time < _cur_bound`` land here (the zero-delay
+      hot path: one float compare plus a small-heap push).
+    * ``_buckets`` — map of integer bucket key to an *unsorted* list of
+      entries; ``_bucket_keys`` is a min-heap over the live keys (with
+      lazy deletion through :func:`~repro.sim.heaptools.drain_heap`).
+      A bucket is heapified only when the clock advances into it.
+    * ``_overflow`` — plain heap of entries at or beyond the horizon
+      (``time >= _far_bound``), migrated bucket-window-at-a-time as the
+      clock approaches.
+
+    The width adapts in both directions, each off its own signal (see
+    the resize-constant comment block): sparse drained buckets grow the
+    width geometrically at advance time; a heap-degenerate current
+    bucket caught by a pop sample shrinks it straight to a
+    span-derived target.  Either direction rebuilds the layout in one
+    O(pending) pass, amortized across the sampling interval.
+    """
+
+    __slots__ = (
+        "_width",
+        "_inv_width",
+        "_cur",
+        "_cur_key",
+        "_cur_bound",
+        "_far_bound",
+        "_buckets",
+        "_bucket_keys",
+        "_overflow",
+        "_len",
+        "_advances",
+        "_occupancy_accum",
+        "_window_advances",
+        "_pop_tick",
+        "max_bucket_occupancy",
+        "resizes",
+        "overflow_peak",
+        "migrated",
+    )
+
+    backend = "calendar"
+
+    def __init__(self, origin: float = 0.0, width: float = 1.0) -> None:
+        if not width > 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        self._width = float(width)
+        self._inv_width = 1.0 / self._width
+        self._cur: list[tuple] = []
+        key = self._key_of(float(origin))
+        self._cur_key = key
+        self._cur_bound = (key + 1) * self._width
+        self._far_bound = (key + _HORIZON) * self._width
+        self._buckets: dict[int, list[tuple]] = {}
+        self._bucket_keys: list[int] = []
+        self._overflow: list[tuple] = []
+        self._len = 0
+        # Observability counters (surfaced via Environment.queue_stats()).
+        self._advances = 0
+        self._occupancy_accum = 0
+        self._window_advances = 0
+        self._pop_tick = _CUR_SAMPLE
+        self.max_bucket_occupancy = 0
+        self.resizes = 0
+        self.overflow_peak = 0
+        self.migrated = 0
+
+    # -- key mapping ---------------------------------------------------
+
+    def _key_of(self, when: float) -> int:
+        """Integer bucket key for ``when`` (monotone non-decreasing)."""
+        scaled = when * self._inv_width
+        if scaled >= _KEY_CAP:
+            scaled = _KEY_CAP
+        elif scaled <= -_KEY_CAP:
+            scaled = -_KEY_CAP
+        return int(scaled)
+
+    # -- core API ------------------------------------------------------
+
+    def push(self, entry: tuple) -> None:
+        when = entry[0]
+        bound = self._cur_bound
+        if when < bound:
+            heappush(self._cur, entry)
+        elif when < self._far_bound:
+            key = int(when * self._inv_width)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [entry]
+                heappush(self._bucket_keys, key)
+            else:
+                bucket.append(entry)
+        elif bound == _INF:
+            # Far mode (see _advance): the bound is infinite, so only
+            # a push at exactly ``inf`` reaches here — it belongs in
+            # the current heap with everything else, where heap order
+            # (not arrival order) breaks the tie.
+            heappush(self._cur, entry)
+        else:
+            overflow = self._overflow
+            heappush(overflow, entry)
+            if len(overflow) > self.overflow_peak:
+                self.overflow_peak = len(overflow)
+        self._len += 1
+
+    def pop(self) -> tuple:
+        cur = self._cur
+        if not cur:
+            if not self._len:
+                raise IndexError("pop from an empty event queue")
+            self._advance()
+            cur = self._cur
+        tick = self._pop_tick - 1
+        if tick > 0:
+            self._pop_tick = tick
+        else:
+            self._pop_tick = _CUR_SAMPLE
+            if len(cur) >= _CUR_HIGH:
+                self._shrink_for_cur()
+                cur = self._cur
+        self._len -= 1
+        return heappop(cur)
+
+    def next_time(self) -> float:
+        """Time of the earliest pending entry (``inf`` when empty).
+
+        May lazily advance the calendar to the next occupied bucket;
+        that reorganization is invisible to the caller.
+        """
+        cur = self._cur
+        if not cur:
+            if not self._len:
+                return _INF
+            self._advance()
+            cur = self._cur
+        return cur[0][0]
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    # -- advancing -----------------------------------------------------
+
+    def _advance(self) -> None:
+        """Make ``_cur`` the bucket holding the globally minimal entry.
+
+        Precondition: ``_cur`` is empty and at least one entry is
+        pending in the bucket map or the overflow band.
+        """
+        buckets = self._buckets
+        keys = self._bucket_keys
+        overflow = self._overflow
+        while True:
+            # Defensive lazy deletion: advance keeps ``keys`` and
+            # ``buckets`` in lock-step, but a stale key must never
+            # select an empty bucket.
+            while keys and keys[0] not in buckets:
+                heappop(keys)
+            key = keys[0] if keys else None
+            if overflow:
+                scaled = overflow[0][0] * self._inv_width
+                if key is None or scaled < key:
+                    if scaled >= _KEY_CAP:
+                        # Unbucketable far zone (inf or near-inf
+                        # timestamps).  The buckets are necessarily
+                        # empty here — a live bucket key would be
+                        # below ``_KEY_CAP`` and would have won the
+                        # comparison — so the overflow heap *is* the
+                        # whole pending set.  Enter far mode: hand it
+                        # to ``_cur`` and route every future push
+                        # (infinite bound) straight into it, so a
+                        # later same-instant URGENT push still sorts
+                        # ahead of an equal-time entry already here.
+                        # The pop-path shrink sampler re-anchors the
+                        # calendar if a real population accumulates.
+                        self._cur = overflow
+                        self._overflow = []
+                        self._cur_bound = _INF
+                        self._far_bound = _INF
+                        return
+                    self._migrate(int(scaled), key)
+                    continue
+            if key is None:
+                raise IndexError("advance on an empty event queue")
+            heappop(keys)
+            bucket = buckets.pop(key)
+            heapify(bucket)
+            self._cur = bucket
+            self._cur_key = key
+            width = self._width
+            self._cur_bound = (key + 1) * width
+            self._far_bound = (key + _HORIZON) * width
+            occupancy = len(bucket)
+            if occupancy > self.max_bucket_occupancy:
+                self.max_bucket_occupancy = occupancy
+            self._advances += 1
+            self._occupancy_accum += occupancy
+            self._window_advances += 1
+            if self._window_advances >= _RESIZE_INTERVAL:
+                self._maybe_resize()
+            return
+
+    def _migrate(self, head_key: int, first_bucket_key: int | None) -> None:
+        """Pull a window of overflow entries into the bucket map.
+
+        Moves every overflow entry whose key falls inside
+        ``[head_key, head_key + _MIGRATE_WINDOW)``, clamped so nothing
+        beyond the earliest existing bucket key is disturbed.
+        """
+        bound = head_key + _MIGRATE_WINDOW
+        if first_bucket_key is not None and first_bucket_key < bound:
+            bound = first_bucket_key
+        overflow = self._overflow
+        buckets = self._buckets
+        keys = self._bucket_keys
+        inv = self._inv_width
+        moved = 0
+        while overflow and overflow[0][0] * inv < bound:
+            entry = heappop(overflow)
+            key = int(entry[0] * inv)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [entry]
+                heappush(keys, key)
+            else:
+                bucket.append(entry)
+            moved += 1
+        self.migrated += moved
+
+    # -- dynamic width -------------------------------------------------
+
+    def _maybe_resize(self) -> None:
+        """Grow the width when advances mostly hit near-empty buckets."""
+        mean = self._occupancy_accum / self._window_advances
+        self._occupancy_accum = 0
+        self._window_advances = 0
+        width = self._width
+        if mean < _OCCUPANCY_LOW and width < _MAX_WIDTH:
+            self._rebuild(min(_MAX_WIDTH, width * _RESIZE_FACTOR))
+
+    def _shrink_for_cur(self) -> None:
+        """Split a heap-degenerate current bucket (pop-path trigger).
+
+        Called when a pop sample catches the current bucket holding at
+        least ``_CUR_HIGH`` entries.  If those entries actually spread
+        in time, rebuild at the width that would hold roughly
+        ``_TARGET_OCCUPANCY`` of them per bucket; a same-instant burst
+        (span zero) is unsplittable and left alone.
+        """
+        cur = self._cur
+        size = len(cur)
+        first = last = cur[0][0]
+        for entry in cur:
+            when = entry[0]
+            if last < when < _INF:
+                # ``inf`` sentinels (never-firing deadlines) would
+                # blow the span to infinity; the rebuild re-routes
+                # them to overflow regardless of the width chosen.
+                last = when
+        span = last - first
+        if span <= 0.0 or first == _INF:
+            return
+        ideal = span * _TARGET_OCCUPANCY / size
+        if ideal >= self._width * 0.5:
+            # Not meaningfully finer than the current width.
+            return
+        self._rebuild(max(_MIN_WIDTH, ideal))
+
+    def _rebuild(self, new_width: float) -> None:
+        """Re-key every pending entry under ``new_width`` (O(pending))."""
+        entries = list(self._cur)
+        for bucket in self._buckets.values():
+            entries.extend(bucket)
+        entries.extend(self._overflow)
+        self._width = new_width
+        self._inv_width = 1.0 / new_width
+        self._buckets = {}
+        self._bucket_keys = []
+        self._overflow = []
+        self._cur = []
+        self.resizes += 1
+        if not entries:
+            # Anchor at the old current bucket's position; the next
+            # advance will re-derive everything from live entries.
+            key = self._key_of(self._cur_bound)
+            self._cur_key = key
+            self._cur_bound = (key + 1) * new_width
+            self._far_bound = (key + _HORIZON) * new_width
+            return
+        earliest = min(entry[0] for entry in entries)
+        key = self._key_of(earliest)
+        self._cur_key = key
+        self._cur_bound = (key + 1) * new_width
+        self._far_bound = (key + _HORIZON) * new_width
+        length = self._len
+        for entry in entries:
+            self.push(entry)
+        # push() re-counted the entries; restore the true length.
+        self._len = length
+        heapify(self._cur)
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "backend": "calendar",
+            "pending": self._len,
+            "width": self._width,
+            "buckets": len(self._buckets),
+            "current_bucket": len(self._cur),
+            "overflow": len(self._overflow),
+            "advances": self._advances,
+            "max_bucket_occupancy": self.max_bucket_occupancy,
+            "overflow_peak": self.overflow_peak,
+            "migrated": self.migrated,
+            "resizes": self.resizes,
+        }

@@ -89,6 +89,8 @@ class Condition(Event):
     child event fails the whole condition immediately.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: Environment,
@@ -139,6 +141,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when all child events have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, events: Iterable[Event]) -> None:
         events = list(events)
         super().__init__(env, lambda evs, count: count >= len(evs), events)
@@ -146,6 +150,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Fires when any child event has fired (or immediately if empty)."""
+
+    __slots__ = ()
 
     def __init__(self, env: Environment, events: Iterable[Event]) -> None:
         events = list(events)
@@ -171,8 +177,18 @@ def with_timeout(
         result = yield proc
         return result
     clock = env.timeout(timeout)
-    # A failed child fails the AnyOf, re-raising its exception here.
-    yield AnyOf(env, [proc, clock])
+    try:
+        # A failed child fails the AnyOf, re-raising its exception here.
+        yield AnyOf(env, [proc, clock])
+    finally:
+        if proc.triggered:
+            # The child finished (or failed) first: the clock lost the
+            # race and nothing waits on it any more.  Tombstone it so
+            # it stops occupying the pending set until its deadline —
+            # at scale these dead clocks otherwise dominate the queue
+            # population (every retried RPC/persist leaves one behind
+            # for its full per-attempt timeout).
+            clock.cancel_scheduled()
     if proc.triggered:
         if proc.ok:
             return proc.value

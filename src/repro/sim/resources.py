@@ -25,8 +25,14 @@ from collections import deque
 from typing import Any
 
 from .core import Environment, Event, NORMAL, URGENT
+from .heaptools import drain_deque, drain_heap, pop_live_heap
 
 __all__ = ["Request", "Release", "Resource", "PriorityRequest", "PriorityResource"]
+
+
+def _is_withdrawn(request: "Request") -> bool:
+    """Tombstone predicate shared by the FIFO deque and priority heap."""
+    return request._withdrawn
 
 
 class Request(Event):
@@ -106,8 +112,7 @@ class Resource:
 
     def _next_request(self) -> Request | None:
         waiting = self._waiting
-        while waiting and waiting[0]._withdrawn:
-            waiting.popleft()
+        drain_deque(waiting, _is_withdrawn)
         return waiting[0] if waiting else None
 
     def _pop_request(self) -> Request:
@@ -178,9 +183,11 @@ class PriorityResource(Resource):
 
     def _next_request(self) -> Request | None:
         heap = self._heap
-        while heap and heap[0]._withdrawn:
-            heapq.heappop(heap)
+        drain_heap(heap, _is_withdrawn)
         return heap[0] if heap else None
 
     def _pop_request(self) -> Request:
-        return heapq.heappop(self._heap)
+        # Pops through the shared audited drain so the result is the
+        # live minimum regardless of whether a peek pre-drained the
+        # heap — the pop must never hand out a withdrawn request.
+        return pop_live_heap(self._heap, _is_withdrawn)

@@ -32,6 +32,7 @@ from collections import deque
 from typing import Any, Callable
 
 from .core import Environment, Event, NORMAL
+from .heaptools import drain_deque, pop_live_heap
 
 __all__ = [
     "StorePut",
@@ -90,6 +91,11 @@ class FilterStoreGet(StoreGet):
     ) -> None:
         self.predicate = predicate
         super().__init__(store)
+
+
+def _is_dead_waiter(event: "StorePut | StoreGet") -> bool:
+    """Tombstone predicate for waiter queues (settled or withdrawn)."""
+    return event.triggered or event._cancelled
 
 
 class Store:
@@ -207,7 +213,11 @@ class PriorityStore(Store):
         heapq.heappush(self.items, item)
 
     def _extract(self) -> Any:
-        return heapq.heappop(self.items)
+        # Items enter this heap only through already-succeeded puts, so
+        # no tombstone can exist among them (a put cancelled before
+        # success never inserts; cancel() after success is a no-op).
+        # The shared helper documents and enforces that audit.
+        return pop_live_heap(self.items, is_dead=None)
 
 
 class FilterStore(Store):
@@ -239,8 +249,7 @@ class FilterStore(Store):
 
     def _enqueue_put(self, event: StorePut) -> None:
         puts = self._put_waiters
-        while puts and (puts[0].triggered or puts[0]._cancelled):
-            puts.popleft()
+        drain_deque(puts, _is_dead_waiter)
         if not puts and len(self.items) < self._capacity:
             self._admit(event)
         else:

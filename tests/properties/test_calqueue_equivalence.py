@@ -1,0 +1,164 @@
+"""Property battery: calendar queue ≡ heap reference, under adversity.
+
+Two layers:
+
+* **Queue level** — random interleavings of pushes and pops (with
+  adversarial tie patterns: same-instant bursts, URGENT/NORMAL mixes,
+  far-future jumps, ``inf``) drained against a plain ``heapq`` model
+  must produce the identical entry sequence.
+* **Kernel level** — random schedule/cancel/reschedule programs run on
+  two :class:`Environment`\\ s (one per backend) must fire events in
+  the same order at the same times and skip the same number of
+  tombstones.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CalendarEventQueue, Environment
+
+INF = float("inf")
+
+# Delays chosen to stress every calendar zone: current bucket (0 and
+# tiny), bucket map (seconds to hours), overflow (beyond the horizon),
+# and the unbucketable far zone (inf).
+adversarial_delays = st.sampled_from(
+    [0.0, 0.0, 0.0, 1e-9, 0.001, 0.5, 1.0, 59.9, 60.0, 3600.0, 5e4, 1e7, INF]
+)
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "push", "push", "pop"]),
+        adversarial_delays,
+        st.integers(min_value=0, max_value=1),  # priority: URGENT/NORMAL
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_queue_matches_heap_model_under_interleaving(program):
+    queue = CalendarEventQueue()
+    model: list = []
+    now = 0.0
+    eid = 0
+    for op, delay, priority in program:
+        if op == "pop" and model:
+            expected = heapq.heappop(model)
+            assert queue.pop() == expected
+            now = expected[0]
+        elif op == "push":
+            entry = (now + delay, priority, eid, None)
+            eid += 1
+            queue.push(entry)
+            heapq.heappush(model, entry)
+        assert len(queue) == len(model)
+        assert queue.next_time() == (model[0][0] if model else INF)
+    drained = []
+    while queue:
+        drained.append(queue.pop())
+    assert drained == [heapq.heappop(model) for _ in range(len(model))]
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_queue_matches_heap_model_with_tiny_width(program):
+    # A pathological initial width forces constant bucket traffic.
+    queue = CalendarEventQueue(width=1e-6)
+    model: list = []
+    now = 0.0
+    eid = 0
+    for op, delay, priority in program:
+        if op == "pop" and model:
+            assert queue.pop() == heapq.heappop(model)
+            now = queue.next_time() if model else now
+        elif op == "push":
+            entry = (now + delay, priority, eid, None)
+            eid += 1
+            queue.push(entry)
+            heapq.heappush(model, entry)
+    drained = []
+    while queue:
+        drained.append(queue.pop())
+    assert drained == [heapq.heappop(model) for _ in range(len(model))]
+
+
+# -- kernel level --------------------------------------------------------
+
+kernel_programs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.integers(min_value=0, max_value=7),  # cancel target stride
+        st.booleans(),  # reschedule after cancel?
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run_kernel_program(backend, program):
+    env = Environment(sanitize=False, event_queue=backend)
+    fired = []
+    pending = []
+
+    def note(tag):
+        def callback(event):
+            fired.append((tag, env.now))
+
+        return callback
+
+    for i, (delay, stride, reschedule) in enumerate(program):
+        timeout = env.timeout(delay)
+        timeout.callbacks.append(note(f"t{i}"))
+        pending.append(timeout)
+        if stride and i % stride == 0 and pending:
+            victim = pending[len(pending) // 2]
+            victim.cancel_scheduled()
+            if reschedule:
+                replacement = env.timeout(delay / 2)
+                replacement.callbacks.append(note(f"r{i}"))
+                pending.append(replacement)
+    env.run()
+    return fired, env.kernel_counters()
+
+
+@given(kernel_programs)
+@settings(max_examples=100, deadline=None)
+def test_backends_fire_identically_with_cancellations(program):
+    fired_heap, counters_heap = _run_kernel_program("heap", program)
+    fired_cal, counters_cal = _run_kernel_program("calendar", program)
+    assert fired_heap == fired_cal
+    # Byte-identical kernel counters, including tombstone skips.
+    assert counters_heap == counters_cal
+    assert counters_heap["tombstones_skipped"] == counters_cal[
+        "tombstones_skipped"
+    ]
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_same_instant_bursts_preserve_creation_order(delays):
+    # All timeouts at the *same* instant must fire in creation (eid)
+    # order on both backends — the tie adversary for bucket ordering.
+    orders = {}
+    for backend in ("heap", "calendar"):
+        env = Environment(sanitize=False, event_queue=backend)
+        fired = []
+        for i, _ in enumerate(delays):
+            timeout = env.timeout(5.0)
+            timeout.callbacks.append(
+                lambda event, i=i: fired.append(i)
+            )
+        env.run()
+        orders[backend] = fired
+    assert orders["heap"] == orders["calendar"] == list(range(len(delays)))

@@ -1,0 +1,261 @@
+"""Unit tests for the event-queue backends (calendar + heap).
+
+Ordering-sensitive tests drive the queues directly with raw
+``(time, priority, eid, payload)`` entries, always respecting the
+kernel's scheduling invariant (no push earlier than the last pop);
+the differential/property suites cover whole-workload equivalence.
+"""
+
+import heapq
+
+import pytest
+
+import repro.sim.calqueue as cq
+from repro.sim import (
+    EVENT_QUEUE_BACKENDS,
+    CalendarEventQueue,
+    Environment,
+    HeapEventQueue,
+    default_event_queue,
+    make_event_queue,
+    set_default_event_queue,
+)
+
+INF = float("inf")
+
+
+def entries(times, priority=1):
+    return [(t, priority, eid, None) for eid, t in enumerate(times)]
+
+
+def drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+# -- backend selection ---------------------------------------------------
+
+
+def test_backend_registry_and_errors():
+    assert EVENT_QUEUE_BACKENDS == ("heap", "calendar")
+    with pytest.raises(ValueError):
+        make_event_queue("btree")
+    with pytest.raises(ValueError):
+        set_default_event_queue("btree")
+
+
+def test_default_is_calendar(monkeypatch):
+    monkeypatch.delenv("REPRO_EVENT_QUEUE", raising=False)
+    assert default_event_queue() == "calendar"
+    assert Environment(sanitize=False).event_queue_backend == "calendar"
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_EVENT_QUEUE", "heap")
+    assert default_event_queue() == "heap"
+    assert Environment(sanitize=False).event_queue_backend == "heap"
+    monkeypatch.setenv("REPRO_EVENT_QUEUE", "btree")
+    with pytest.raises(ValueError):
+        default_event_queue()
+
+
+def test_process_default_overrides_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_EVENT_QUEUE", "calendar")
+    previous = set_default_event_queue("heap")
+    try:
+        assert Environment(sanitize=False).event_queue_backend == "heap"
+    finally:
+        set_default_event_queue(previous)
+
+
+def test_explicit_argument_overrides_everything(monkeypatch):
+    monkeypatch.setenv("REPRO_EVENT_QUEUE", "calendar")
+    previous = set_default_event_queue("calendar")
+    try:
+        env = Environment(sanitize=False, event_queue="heap")
+        assert env.event_queue_backend == "heap"
+    finally:
+        set_default_event_queue(previous)
+
+
+def test_queue_stats_exposed_on_environment():
+    env = Environment(sanitize=False, event_queue="calendar")
+    stats = env.queue_stats()
+    assert stats["backend"] == "calendar"
+    assert stats["pending"] == 0
+    assert Environment(sanitize=False, event_queue="heap").queue_stats() == {
+        "backend": "heap",
+        "pending": 0,
+    }
+
+
+# -- basic draining ------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", EVENT_QUEUE_BACKENDS)
+def test_drains_in_full_tuple_order(backend):
+    queue = make_event_queue(backend)
+    # Mix near (current bucket), mid (bucket map), and far (overflow)
+    # times, with ties broken by priority then eid.
+    times = [0.25, 0.25, 7.5, 3.0, 3.0, 3.0, 5000.0, 123456.0, 0.0]
+    batch = [(t, eid % 2, eid, None) for eid, t in enumerate(times)]
+    for entry in batch:
+        queue.push(entry)
+    assert len(queue) == len(batch)
+    assert queue.next_time() == 0.0
+    assert drain(queue) == sorted(batch)
+    assert not queue
+
+
+@pytest.mark.parametrize("backend", EVENT_QUEUE_BACKENDS)
+def test_empty_queue_behaviour(backend):
+    queue = make_event_queue(backend)
+    assert len(queue) == 0
+    assert not queue
+    assert queue.next_time() == INF
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+@pytest.mark.parametrize("backend", EVENT_QUEUE_BACKENDS)
+def test_interleaved_push_pop_respects_clock(backend):
+    queue = make_event_queue(backend)
+    for entry in entries([10.0, 20.0, 30.0]):
+        queue.push(entry)
+    assert queue.pop()[0] == 10.0
+    # New pushes at/after the popped time, including a far jump.
+    queue.push((10.0, 0, 100, None))
+    queue.push((15.0, 1, 101, None))
+    queue.push((99999.0, 1, 102, None))
+    assert [e[0] for e in drain(queue)] == [10.0, 15.0, 20.0, 30.0, 99999.0]
+
+
+def test_infinite_timestamps_live_in_overflow():
+    queue = CalendarEventQueue()
+    queue.push((INF, 1, 1, None))
+    queue.push((INF, 1, 2, None))
+    queue.push((1.0, 1, 3, None))
+    assert queue.stats()["overflow"] == 2
+    popped = drain(queue)
+    assert [e[2] for e in popped] == [3, 1, 2]
+
+
+def test_far_future_entries_migrate_from_overflow():
+    queue = CalendarEventQueue(width=1.0)
+    horizon = cq._HORIZON * 1.0
+    times = [horizon * 3 + k * 0.5 for k in range(32)] + [0.5]
+    batch = entries(times)
+    for entry in batch:
+        queue.push(entry)
+    assert queue.stats()["overflow"] == 32
+    assert drain(queue) == sorted(batch)
+    assert queue.stats()["migrated"] > 0
+
+
+# -- dynamic width -------------------------------------------------------
+
+
+def test_sparse_buckets_grow_width():
+    queue = CalendarEventQueue(width=0.01)
+    # One entry per bucket for well over a resize window of advances.
+    count = cq._RESIZE_INTERVAL * 2 + 16
+    batch = entries([0.015 + k * 0.01 for k in range(count)])
+    for entry in batch:
+        queue.push(entry)
+    assert drain(queue) == sorted(batch)
+    stats = queue.stats()
+    assert stats["resizes"] >= 1
+    assert stats["width"] > 0.01
+
+
+def test_degenerate_current_bucket_shrinks_width():
+    # A width that swallows the whole pending horizon never advances,
+    # so the shrink must trigger from the pop path.
+    queue = CalendarEventQueue(width=cq._MAX_WIDTH)
+    # Enough entries that the bucket is still degenerate when the pop
+    # sample fires (the sample runs every _CUR_SAMPLE pops).
+    count = cq._CUR_HIGH + cq._CUR_SAMPLE + 64
+    batch = entries([(k * 7919) % 100000 + 0.5 for k in range(count)])
+    for entry in batch:
+        queue.push(entry)
+    assert queue.stats()["current_bucket"] == count
+    popped = [queue.pop() for _ in range(cq._CUR_SAMPLE + 8)]
+    stats = queue.stats()
+    assert stats["resizes"] >= 1
+    assert stats["width"] < cq._MAX_WIDTH
+    popped.extend(drain(queue))
+    assert popped == sorted(batch)
+
+
+def test_same_instant_burst_never_shrinks():
+    queue = CalendarEventQueue(width=cq._MAX_WIDTH)
+    count = cq._CUR_HIGH + cq._CUR_SAMPLE + 64
+    batch = entries([42.0] * count)
+    for entry in batch:
+        queue.push(entry)
+    for _ in range(cq._CUR_SAMPLE + 8):
+        queue.pop()
+    stats = queue.stats()
+    assert stats["resizes"] == 0
+    assert stats["width"] == cq._MAX_WIDTH
+
+
+def test_rebuild_preserves_length_and_order():
+    queue = CalendarEventQueue(width=1.0)
+    batch = entries([k * 0.37 for k in range(500)] + [1e7, INF])
+    for entry in batch:
+        queue.push(entry)
+    length = len(queue)
+    queue._rebuild(0.125)
+    assert len(queue) == length
+    assert queue.stats()["width"] == 0.125
+    assert drain(queue) == sorted(batch)
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        CalendarEventQueue(width=0.0)
+    with pytest.raises(ValueError):
+        CalendarEventQueue(width=-1.0)
+
+
+# -- randomized cross-check (non-Hypothesis smoke) -----------------------
+
+
+def test_random_interleaving_matches_heap_reference():
+    import random
+
+    rng = random.Random(1234)
+    queue = CalendarEventQueue()
+    reference: list = []
+    now = 0.0
+    eid = 0
+    popped_queue, popped_ref = [], []
+    for _ in range(5000):
+        if reference and rng.random() < 0.45:
+            popped_queue.append(queue.pop())
+            entry = heapq.heappop(reference)
+            popped_ref.append(entry)
+            now = entry[0]
+        else:
+            delay = rng.choice([0.0, 0.0, 0.001, 0.5, 60.0, 7e4, INF])
+            entry = (now + delay, rng.randint(0, 1), eid, None)
+            eid += 1
+            queue.push(entry)
+            heapq.heappush(reference, entry)
+    while reference:
+        popped_queue.append(queue.pop())
+        popped_ref.append(heapq.heappop(reference))
+    assert popped_queue == popped_ref
+
+
+def test_heap_backend_stats_and_order():
+    queue = HeapEventQueue()
+    batch = entries([5.0, 1.0, 3.0])
+    for entry in batch:
+        queue.push(entry)
+    assert queue.stats() == {"backend": "heap", "pending": 3}
+    assert queue.next_time() == 1.0
+    assert drain(queue) == sorted(batch)

@@ -1,0 +1,194 @@
+"""The shared tombstone-drain helpers and their call sites.
+
+``repro.sim.heaptools`` is the single audited skip loop for lazily
+tombstoned heaps and deques; these tests pin its contract directly and
+then exercise the two historical hand-rolled sites it replaced
+(:class:`PriorityResource`'s wait heap and the store waiter queues)
+through their cancel edge cases.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, PriorityStore, Store
+from repro.sim.heaptools import (
+    drain_deque,
+    drain_heap,
+    peek_live_deque,
+    peek_live_heap,
+    pop_live_heap,
+)
+
+
+def is_dead(entry):
+    return entry[1]
+
+
+# -- helper contract -----------------------------------------------------
+
+
+def test_drain_heap_drops_only_dead_prefix():
+    heap = [(1, True), (2, True), (3, False), (4, True)]
+    skipped = []
+    drain_heap(heap, is_dead, on_skip=skipped.append)
+    assert heap[0] == (3, False)
+    # The interior tombstone (4, True) stays until it reaches the head.
+    assert (4, True) in heap
+    assert skipped == [(1, True), (2, True)]
+
+
+def test_drain_heap_empties_fully_dead_heap():
+    heap = [(1, True), (2, True)]
+    drain_heap(heap, is_dead)
+    assert heap == []
+
+
+def test_peek_live_heap_returns_none_when_empty():
+    assert peek_live_heap([], is_dead) is None
+    heap = [(5, False)]
+    assert peek_live_heap(heap, is_dead) == (5, False)
+    assert heap  # peek does not pop the live head
+
+
+def test_pop_live_heap_skips_dead_and_counts():
+    heap = [(1, True), (2, False), (3, True)]
+    skipped = []
+    assert pop_live_heap(heap, is_dead, on_skip=skipped.append) == (2, False)
+    assert skipped == [(1, True)]
+
+
+def test_pop_live_heap_plain_mode_and_empty():
+    heap = [(2, False), (5, False)]
+    assert pop_live_heap(heap) == (2, False)
+    with pytest.raises(IndexError):
+        pop_live_heap([])
+    with pytest.raises(IndexError):
+        pop_live_heap([(1, True)], is_dead)
+
+
+def test_drain_and_peek_deque():
+    queue = deque([(1, True), (2, False), (3, True)])
+    skipped = []
+    assert peek_live_deque(queue, is_dead, on_skip=skipped.append) == (2, False)
+    assert skipped == [(1, True)]
+    assert list(queue) == [(2, False), (3, True)]
+    drain_deque(queue, is_dead)
+    assert queue[0] == (2, False)
+    assert peek_live_deque(deque(), is_dead) is None
+
+
+# -- PriorityResource cancel edge cases ----------------------------------
+
+
+def test_priority_resource_cancel_then_grant_skips_tombstone():
+    env = Environment(sanitize=False)
+    resource = PriorityResource(env, capacity=1)
+    granted = []
+
+    def holder(env):
+        with resource.request(priority=0) as req:
+            yield req
+            granted.append("holder")
+            yield env.timeout(10.0)
+
+    def cancelled_waiter(env):
+        req = resource.request(priority=1)
+        yield env.timeout(1.0)
+        req.cancel()  # withdraw while still queued
+        req.cancel()  # duplicate cancel must be a no-op
+        granted.append("withdrew")
+
+    def patient_waiter(env):
+        with resource.request(priority=2) as req:
+            yield req
+            granted.append("patient")
+
+    env.process(holder(env))
+    env.process(cancelled_waiter(env))
+    env.process(patient_waiter(env))
+    env.run()
+    # The withdrawn higher-priority request never gets the slot.
+    assert granted == ["holder", "withdrew", "patient"]
+
+
+def test_priority_resource_duplicate_cancel_after_grant_releases_once():
+    env = Environment(sanitize=False)
+    resource = PriorityResource(env, capacity=1)
+    log = []
+
+    def first(env):
+        req = resource.request(priority=0)
+        yield req
+        log.append("got")
+        req.cancel()
+        req.cancel()  # double release must not free a second slot
+        log.append("released")
+
+    def second(env):
+        with resource.request(priority=5) as req:
+            yield req
+            log.append("second")
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    assert log == ["got", "released", "second"]
+    assert resource.count == 0
+    assert resource.queue == []
+
+
+def test_priority_resource_queue_view_hides_tombstones():
+    env = Environment(sanitize=False)
+    resource = PriorityResource(env, capacity=1)
+    holder = resource.request(priority=0)
+    env.run()
+    assert holder.triggered
+    live = resource.request(priority=2)
+    dead = resource.request(priority=1)
+    dead.cancel()
+    assert resource.queue == [live]
+    resource.release(holder)
+    env.run()
+    assert live.triggered
+
+
+# -- store cancel edge cases ---------------------------------------------
+
+
+def test_priority_store_cancel_get_then_get():
+    env = Environment(sanitize=False)
+    store = PriorityStore(env)
+    abandoned = store.get()
+    abandoned.cancel()
+    abandoned.cancel()  # duplicate cancel is a no-op
+    store.put(3)
+    store.put(1)
+    env.run()
+    taken = store.get()
+    env.run()
+    # The cancelled get never consumed anything; retrieval is
+    # lowest-first.
+    assert not abandoned.triggered
+    assert taken.value == 1
+    assert len(store) == 1
+
+
+def test_store_cancelled_put_never_inserts():
+    env = Environment(sanitize=False)
+    store = Store(env, capacity=1)
+    first = store.put("a")
+    blocked = store.put("b")
+    blocked.cancel()
+    blocked.cancel()
+    env.run()
+    assert first.triggered
+    got = store.get()
+    env.run()
+    assert got.value == "a"
+    assert len(store) == 0
+    # The withdrawn put's item must not surface later.
+    late = store.get()
+    store.put("c")
+    env.run()
+    assert late.value == "c"
