@@ -32,8 +32,11 @@ bucket key ``trunc(time * inv_width)`` is monotone non-decreasing in
 entry outside the current bucket has a key strictly greater than
 ``cur_key``, hence a time strictly greater than every entry inside it;
 the current bucket itself is a heap over full entry tuples.  Advancing
-selects the minimal key over buckets and overflow and drains *all*
-entries of that key, so pops are globally sorted.
+selects the minimal key over buckets and overflow, first merging any
+overflow entries whose key falls at or before that minimum into the
+bucket map (an equal-key overflow entry must join the bucket it shares
+a key with *before* the bucket drains), and then drains *all* entries
+of that key through one heap, so pops are globally sorted.
 
 Selection: ``Environment(event_queue=...)`` >
 :func:`set_default_event_queue` > ``REPRO_EVENT_QUEUE`` > ``calendar``.
@@ -354,7 +357,15 @@ class CalendarEventQueue:
             key = keys[0] if keys else None
             if overflow:
                 scaled = overflow[0][0] * self._inv_width
-                if key is None or scaled < key:
+                # Migrate while the overflow head falls in or *before*
+                # the earliest bucket (``int(scaled) <= key``, i.e.
+                # ``scaled < key + 1``).  An equal-key overflow entry
+                # must merge into that bucket before it drains: a
+                # strict compare here would let the bucket drain first
+                # even when the overflow entry is earlier in time
+                # (far-future timer beyond the horizon, later joined
+                # by a same-bucket event once the horizon covers it).
+                if key is None or scaled < key + 1:
                     if scaled >= _KEY_CAP:
                         # Unbucketable far zone (inf or near-inf
                         # timestamps).  The buckets are necessarily
@@ -399,12 +410,14 @@ class CalendarEventQueue:
         """Pull a window of overflow entries into the bucket map.
 
         Moves every overflow entry whose key falls inside
-        ``[head_key, head_key + _MIGRATE_WINDOW)``, clamped so nothing
-        beyond the earliest existing bucket key is disturbed.
+        ``[head_key, head_key + _MIGRATE_WINDOW)``, clamped to
+        ``first_bucket_key + 1`` so entries sharing the earliest
+        existing bucket's key are merged into it while later buckets
+        stay undisturbed.
         """
         bound = head_key + _MIGRATE_WINDOW
-        if first_bucket_key is not None and first_bucket_key < bound:
-            bound = first_bucket_key
+        if first_bucket_key is not None and first_bucket_key + 1 < bound:
+            bound = first_bucket_key + 1
         overflow = self._overflow
         buckets = self._buckets
         keys = self._bucket_keys

@@ -87,6 +87,49 @@ def test_queue_matches_heap_model_with_tiny_width(program):
     assert drained == [heapq.heappop(model) for _ in range(len(model))]
 
 
+@given(
+    anchor_offset=st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+    later=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+            st.integers(min_value=0, max_value=1),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_overflow_bucket_key_collision_matches_heap_model(
+    anchor_offset, later
+):
+    # Targeted adversary the fixed delay palette above cannot build:
+    # schedule beyond the horizon (overflow), advance until the
+    # horizon covers that key, then schedule into the *same* bucket
+    # key.  The overflow entry must merge into the bucket before it
+    # drains (REVIEW.md: a strict migrate compare drained the bucket
+    # first even when the overflow entry was earlier in time).
+    from repro.sim.calqueue import _HORIZON
+
+    key = _HORIZON + 4  # just beyond the initial horizon (width=1.0)
+    queue = CalendarEventQueue(width=1.0)
+    model: list = []
+
+    def push(entry):
+        queue.push(entry)
+        heapq.heappush(model, entry)
+
+    push((key + anchor_offset, 1, 0, None))  # overflow anchor
+    push((16.0, 1, 1, None))  # stepping event
+    # Advancing to t=16 pushes the horizon past the anchor's key.
+    assert queue.pop() == heapq.heappop(model)
+    for eid, (offset, priority) in enumerate(later, start=2):
+        push((key + offset, priority, eid, None))  # same bucket key
+    drained = []
+    while queue:
+        drained.append(queue.pop())
+    assert drained == [heapq.heappop(model) for _ in range(len(model))]
+
+
 # -- kernel level --------------------------------------------------------
 
 kernel_programs = st.lists(

@@ -142,6 +142,59 @@ def test_infinite_timestamps_live_in_overflow():
     assert [e[2] for e in popped] == [3, 1, 2]
 
 
+def test_overflow_key_collision_merges_into_bucket():
+    # Regression (REVIEW.md): an overflow entry whose bucket key
+    # collides with a bucket-map key must merge into that bucket
+    # before it drains.  The strict migrate compare let the bucket
+    # drain first even though the overflow entry was earlier in time.
+    queue = CalendarEventQueue(width=1.0)
+    queue.push((5000.0, 1, 0, None))  # beyond the 4096-bucket horizon
+    queue.push((1000.0, 1, 1, None))
+    # Advancing to t=1000 moves the horizon past key 5000.
+    assert queue.pop() == (1000.0, 1, 1, None)
+    queue.push((5000.5, 1, 2, None))  # bucket-map entry, same key 5000
+    assert [e[2] for e in drain(queue)] == [0, 2]
+
+
+def test_overflow_key_collision_tie_breaks_by_priority():
+    # Same collision, equal times: the tuple order (priority, eid)
+    # must decide, not which zone the entry happened to live in.
+    queue = CalendarEventQueue(width=1.0)
+    queue.push((5000.25, 1, 0, None))  # overflow
+    queue.push((1000.0, 1, 1, None))
+    queue.pop()
+    queue.push((5000.25, 0, 2, None))  # bucket, URGENT wins the tie
+    queue.push((5000.25, 1, 3, None))  # bucket, eid loses to overflow
+    assert [e[2] for e in drain(queue)] == [2, 0, 3]
+
+
+def test_far_timer_joined_by_same_bucket_event_fires_in_order():
+    # Kernel-level differential for the same scenario: a long retry
+    # deadline beyond the horizon, later joined by a same-bucket
+    # timeout scheduled once the clock has advanced far enough.
+    orders = {}
+    for backend in EVENT_QUEUE_BACKENDS:
+        env = Environment(sanitize=False, event_queue=backend)
+        fired = []
+
+        def note(tag):
+            return lambda event, tag=tag: fired.append((tag, env.now))
+
+        far = env.timeout(5000.0)
+        far.callbacks.append(note("far"))
+        step = env.timeout(1000.0)
+
+        def join(event):
+            late = env.timeout(4000.5)  # absolute 5000.5: same bucket
+            late.callbacks.append(note("late"))
+
+        step.callbacks.append(join)
+        env.run()
+        orders[backend] = fired
+    assert orders["calendar"] == orders["heap"]
+    assert [tag for tag, _ in orders["calendar"]] == ["far", "late"]
+
+
 def test_far_future_entries_migrate_from_overflow():
     queue = CalendarEventQueue(width=1.0)
     horizon = cq._HORIZON * 1.0
