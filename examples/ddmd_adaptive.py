@@ -24,16 +24,18 @@ from repro.experiments import (
 )
 
 
-def recommend_train_tasks(headroom: dict[str, float], gpus_per_node: int = 6) -> int:
+def recommend_train_tasks(headroom: dict, gpus_per_node: int = 6) -> int:
     """A toy adaptive policy: with ample CPU headroom, parallelize
-    training up to the free-GPU budget."""
+    training up to the free-GPU budget (scaled by GPU headroom)."""
     if not headroom:
         return 1
-    mean_headroom = sum(headroom.values()) / len(headroom)
-    if mean_headroom > 0.75:
-        return gpus_per_node
-    if mean_headroom > 0.5:
-        return gpus_per_node // 2
+    mean_cpu = sum(h["cpu"] for h in headroom.values()) / len(headroom)
+    mean_gpu = sum(h["gpu"] for h in headroom.values()) / len(headroom)
+    budget = max(1, int(gpus_per_node * mean_gpu))
+    if mean_cpu > 0.75:
+        return budget
+    if mean_cpu > 0.5:
+        return max(1, budget // 2)
     return 1
 
 
@@ -54,7 +56,9 @@ def main() -> None:
     for phase, analysis in enumerate(analyses):
         headroom = analysis["headroom"]
         mean_headroom = (
-            sum(headroom.values()) / len(headroom) if headroom else 0.0
+            sum(h["cpu"] for h in headroom.values()) / len(headroom)
+            if headroom
+            else 0.0
         )
         rows.append(
             [

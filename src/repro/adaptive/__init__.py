@@ -9,6 +9,7 @@ configuration on-the-fly" (paper Sec 6).
 
 from .controller import AdaptiveController
 from .policies import (
+    DetectionDrivenPolicy,
     RankObservation,
     RankTuningPolicy,
     TrainingParallelismPolicy,
@@ -17,6 +18,7 @@ from .policies import (
 
 __all__ = [
     "AdaptiveController",
+    "DetectionDrivenPolicy",
     "RankObservation",
     "RankTuningPolicy",
     "TrainingParallelismPolicy",

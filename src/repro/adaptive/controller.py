@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 from ..soma.analysis import free_resource_estimate
 from ..soma.namespaces import HARDWARE
 from .policies import (
+    DetectionDrivenPolicy,
     RankTuningPolicy,
     TrainingParallelismPolicy,
     UtilizationAwarePlacement,
@@ -36,14 +37,19 @@ class AdaptiveController:
         deployment: "SomaDeployment",
         rank_policy: RankTuningPolicy | None = None,
         training_policy: TrainingParallelismPolicy | None = None,
+        detection_policy: DetectionDrivenPolicy | None = None,
     ) -> None:
         self.client = client
         self.session = client.session
         self.deployment = deployment
         self.rank_policy = rank_policy or RankTuningPolicy()
         self.training_policy = training_policy or TrainingParallelismPolicy()
+        self.detection_policy = detection_policy or DetectionDrivenPolicy()
         #: Log of every decision taken, for post-run inspection.
         self.decisions: list[dict] = []
+        self._last_rank_choice: int | None = None
+        self._last_detection: tuple | None = None
+        self._placement_installed = False
 
     # -- rank tuning (Fig 4 use case) -------------------------------------
 
@@ -54,9 +60,15 @@ class AdaptiveController:
                 self.rank_policy.observe_task(task)
 
     def recommended_ranks(self) -> int | None:
-        """Current best rank count (None before any observation)."""
+        """Current best rank count (None before any observation).
+
+        Only *changed* recommendations are logged: polling callers
+        would otherwise flood the decision log with identical entries
+        and skew ablation decision counts.
+        """
         choice = self.rank_policy.recommend()
-        if choice is not None:
+        if choice is not None and choice != self._last_rank_choice:
+            self._last_rank_choice = choice
             self.decisions.append(
                 {
                     "time": self.session.env.now,
@@ -71,7 +83,7 @@ class AdaptiveController:
 
     def recommend_training_workers(self, window: float = 180.0) -> int:
         """Training workers for the next phase, from live SOMA data."""
-        headroom: dict[str, float] = {}
+        headroom: dict[str, dict[str, float]] = {}
         if self.deployment.enabled:
             headroom = free_resource_estimate(
                 self.deployment.store(HARDWARE),
@@ -89,13 +101,56 @@ class AdaptiveController:
                 "workers": workers,
                 "free_gpus": free_gpus,
                 "mean_headroom": (
-                    sum(headroom.values()) / len(headroom)
+                    sum(h["cpu"] for h in headroom.values()) / len(headroom)
+                    if headroom
+                    else None
+                ),
+                "mean_gpu_headroom": (
+                    sum(h["gpu"] for h in headroom.values()) / len(headroom)
                     if headroom
                     else None
                 ),
             }
         )
         return workers
+
+    # -- detection-driven adaptation (bottleneck findings) ------------------
+
+    def apply_findings(self, findings) -> dict:
+        """Turn bottleneck findings into the next phase's knob settings.
+
+        ``findings`` is a list of :class:`repro.analysis.bottleneck.Finding`
+        records (or bare kind strings).  Returns the recommended
+        settings; logs a ``detection`` decision only when the outcome
+        differs from the previous one (same dedupe rationale as
+        :meth:`recommended_ranks`).
+        """
+        free_gpus = sum(
+            node.free_gpus for node in self.client.pilot.compute_nodes
+        )
+        policy = self.detection_policy
+        workers = policy.recommend_training_workers(findings, free_gpus)
+        current_period = (
+            self.deployment.config.monitoring_frequency
+            if self.deployment.enabled
+            else policy.min_monitor_period
+        )
+        period = policy.recommend_monitor_period(findings, current_period)
+        kinds = tuple(sorted({getattr(f, "kind", f) for f in findings}))
+        outcome = (workers, period, kinds)
+        if outcome != self._last_detection:
+            self._last_detection = outcome
+            self.decisions.append(
+                {
+                    "time": self.session.env.now,
+                    "kind": "detection",
+                    "workers": workers,
+                    "monitor_period": period,
+                    "findings": list(kinds),
+                    "free_gpus": free_gpus,
+                }
+            )
+        return {"training_workers": workers, "monitor_period": period}
 
     # -- placement (Sec 4.2 suggestion) ------------------------------------------
 
@@ -105,15 +160,28 @@ class AdaptiveController:
         if scheduler is None:
             raise RuntimeError("agent not bootstrapped")
         scheduler.set_node_ranker(UtilizationAwarePlacement())
-        self.decisions.append(
-            {
-                "time": self.session.env.now,
-                "kind": "placement",
-                "policy": "utilization-aware",
-            }
-        )
+        if not self._placement_installed:
+            self._placement_installed = True
+            self.decisions.append(
+                {
+                    "time": self.session.env.now,
+                    "kind": "placement",
+                    "policy": "utilization-aware",
+                }
+            )
 
     def disable_utilization_aware_placement(self) -> None:
         scheduler = self.client.agent.scheduler
         if scheduler is not None:
             scheduler.set_node_ranker(None)
+        # Log the transition (once): a run that turned placement off
+        # mid-flight should show that in its decision history.
+        if self._placement_installed:
+            self._placement_installed = False
+            self.decisions.append(
+                {
+                    "time": self.session.env.now,
+                    "kind": "placement",
+                    "policy": "default",
+                }
+            )

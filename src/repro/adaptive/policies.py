@@ -33,8 +33,22 @@ __all__ = [
     "RankObservation",
     "RankTuningPolicy",
     "TrainingParallelismPolicy",
+    "DetectionDrivenPolicy",
     "UtilizationAwarePlacement",
 ]
+
+
+def _headroom_components(value) -> tuple[float, float]:
+    """Normalize one host's headroom to ``(cpu, gpu)``.
+
+    :func:`repro.soma.analysis.free_resource_estimate` returns
+    per-resource dicts; bare floats (older callers, hand-built maps)
+    are treated as CPU-only with unknown GPU load, i.e. full GPU
+    headroom.
+    """
+    if isinstance(value, dict):
+        return float(value.get("cpu", 0.0)), float(value.get("gpu", 1.0))
+    return float(value), 1.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,27 +127,106 @@ class TrainingParallelismPolicy:
         self.reduce_seconds = reduce_seconds
         self.train_gpu_seconds = train_gpu_seconds
 
-    def recommend(
-        self, cpu_headroom: dict[str, float], free_gpus: int
-    ) -> int:
+    def recommend(self, headroom: dict, free_gpus: int) -> int:
         """Workers for the next phase's training stage.
 
+        ``headroom`` maps host to per-resource headroom (the shape
+        :func:`~repro.soma.analysis.free_resource_estimate` returns).
         Parallelize only while (a) CPU headroom confirms the workload
-        is GPU-bound, (b) free GPUs exist, and (c) the marginal worker
-        still reduces the modeled training time (reduce overhead grows
-        with workers).
+        is GPU-bound, (b) free GPUs *with headroom* exist — the GPU
+        component scales the worker budget so a machine whose GPUs are
+        already busy is not over-subscribed — and (c) the marginal
+        worker still reduces the modeled training time (reduce
+        overhead grows with workers).
         """
-        if not cpu_headroom:
+        if not headroom:
             return 1
-        if float(np.mean(list(cpu_headroom.values()))) < self.headroom_threshold:
+        components = [_headroom_components(v) for v in headroom.values()]
+        cpu = float(np.mean([c for c, _ in components]))
+        gpu = float(np.mean([g for _, g in components]))
+        if cpu < self.headroom_threshold:
             return 1
+        budget = int(free_gpus * min(1.0, gpu) + 1e-9)
+        limit = max(1, min(self.max_workers, budget))
         best, best_time = 1, self._model_time(1)
-        limit = max(1, min(self.max_workers, free_gpus))
         for workers in range(2, limit + 1):
             t = self._model_time(workers)
             if t < best_time:
                 best, best_time = workers, t
         return best
+
+    def _model_time(self, workers: int) -> float:
+        import math
+
+        if workers <= 1:
+            return self.train_gpu_seconds
+        return self.train_gpu_seconds / workers + self.reduce_seconds * (
+            math.log2(workers + 1)
+        )
+
+
+class DetectionDrivenPolicy:
+    """Re-tune the run from bottleneck *findings* instead of raw headroom.
+
+    Consumes :class:`repro.analysis.bottleneck.Finding` records (only
+    their ``kind`` is read, so plain strings work too) and turns them
+    into the two knobs the adaptive DDMD experiment exposes: training
+    parallelism for the next phase and the SOMA monitoring period.
+
+    The contrast with :class:`TrainingParallelismPolicy` is the point
+    of the detection ablation: absent adverse findings the workload is
+    *known* healthy and GPU-bound, so the policy fans training out to
+    the modeled-best worker count immediately instead of waiting for a
+    headroom average to clear a threshold.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 6,
+        reduce_seconds: float = 7.0,
+        train_gpu_seconds: float = 260.0,
+        min_monitor_period: float = 10.0,
+        max_monitor_period: float = 240.0,
+    ) -> None:
+        self.max_workers = max_workers
+        self.reduce_seconds = reduce_seconds
+        self.train_gpu_seconds = train_gpu_seconds
+        self.min_monitor_period = min_monitor_period
+        self.max_monitor_period = max_monitor_period
+
+    @staticmethod
+    def _kinds(findings) -> set[str]:
+        return {getattr(f, "kind", f) for f in findings}
+
+    def recommend_training_workers(self, findings, free_gpus: int) -> int:
+        """Training workers for the next phase given current findings.
+
+        CPU oversubscription or a starving scheduler means extra
+        training workers would contend for (or wait behind) scarce
+        capacity — stay serial.  Otherwise pick the modeled-best count
+        within the free-GPU budget.
+        """
+        kinds = self._kinds(findings)
+        if "cpu_oversubscription" in kinds or "scheduler_starvation" in kinds:
+            return 1
+        limit = max(1, min(self.max_workers, int(free_gpus)))
+        best, best_time = 1, self._model_time(1)
+        for workers in range(2, limit + 1):
+            t = self._model_time(workers)
+            if t < best_time:
+                best, best_time = workers, t
+        return best
+
+    def recommend_monitor_period(self, findings, current: float) -> float:
+        """Monitoring period given current findings.
+
+        RPC ingest queueing → back off (double the period, capped);
+        otherwise keep the current period, floored at the minimum.
+        """
+        period = max(self.min_monitor_period, float(current))
+        if "rpc_queueing" in self._kinds(findings):
+            period = min(self.max_monitor_period, period * 2.0)
+        return period
 
     def _model_time(self, workers: int) -> float:
         import math

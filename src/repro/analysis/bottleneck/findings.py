@@ -1,0 +1,92 @@
+"""Interpretable findings: the detector subsystem's output record.
+
+A :class:`Finding` says *what* went wrong (its kind), *where* (host,
+namespace, task, or monitor source), *when* (a time window), with the
+*evidence* values that triggered it, the calibrated *threshold* it was
+judged against, and a suggested *action* — the interpretable unit the
+adaptive layer and the CLI report consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KINDS", "Finding", "render_findings"]
+
+#: The finding kinds the built-in detectors emit.
+KINDS: tuple[str, ...] = (
+    "cpu_oversubscription",
+    "rpc_queueing",
+    "load_imbalance",
+    "scheduler_starvation",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One detected bottleneck, with its evidence."""
+
+    #: Machine-readable category (one of :data:`KINDS` for built-ins).
+    kind: str
+    #: Name of the detector that emitted this finding.
+    detector: str
+    #: Subject: a hostname, ``soma.<namespace>``, task uid, or source.
+    where: str
+    #: Time window the evidence covers (simulated seconds).
+    start: float
+    end: float
+    #: Ratio of the triggering metric to its threshold (>= 1.0).
+    severity: float
+    #: The measured values that triggered the finding.
+    evidence: dict = field(default_factory=dict)
+    #: The calibrated threshold values the evidence was judged against.
+    threshold: dict = field(default_factory=dict)
+    #: Suggested remediation, in words.
+    action: str = ""
+
+    @property
+    def window(self) -> tuple[float, float]:
+        return (self.start, self.end)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-able) for payloads and the CLI."""
+        return {
+            "kind": self.kind,
+            "detector": self.detector,
+            "where": self.where,
+            "start": self.start,
+            "end": self.end,
+            "severity": self.severity,
+            "evidence": dict(self.evidence),
+            "threshold": dict(self.threshold),
+            "action": self.action,
+        }
+
+
+def render_findings(findings: "list[Finding]") -> str:
+    """Human-readable findings report (one block per finding)."""
+    if not findings:
+        return "no findings: every detector metric is within its threshold"
+    blocks = []
+    for i, f in enumerate(findings, 1):
+        evidence = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(f.evidence.items())
+        )
+        threshold = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(f.threshold.items())
+        )
+        blocks.append(
+            "\n".join(
+                [
+                    f"[{i}] {f.kind} at {f.where} "
+                    f"(severity {f.severity:.2f}x)",
+                    f"    window:    {f.start:.0f}s .. {f.end:.0f}s",
+                    f"    evidence:  {evidence}",
+                    f"    threshold: {threshold}",
+                    f"    action:    {f.action}",
+                ]
+            )
+        )
+    return "\n".join(blocks)

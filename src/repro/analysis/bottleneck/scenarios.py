@@ -1,0 +1,264 @@
+"""Named bottleneck scenarios: known-clean and known-bad runs.
+
+Each scenario is a small, fast workflow with a *known* performance
+truth: the clean pair calibrates the thresholds (and must produce zero
+findings), while each fault scenario plants exactly one bottleneck
+signature — via :class:`~repro.faults.FaultPlan` injection or a
+pathological workload parameter — that its detector must recognize.
+The chaos-battery tests and ``python -m repro bottleneck battery``
+both run this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Generator
+
+from ...experiments.ddmd_exps import adaptive_experiment, run_ddmd_experiment
+from ...experiments.harness import WorkflowResult, run_workflow
+from ...experiments.openfoam_exps import TUNING, run_openfoam_experiment
+from ...faults import FaultPlan
+from ...rp.description import TaskDescription
+from ...rp.model import FixedDurationModel
+from ...soma.namespaces import HARDWARE, WORKFLOW
+from ...soma.service import SomaConfig
+from ...workloads.ddmd import GPUStageTaskModel
+from ...workloads.openfoam import OpenFOAMParams
+
+__all__ = ["Scenario", "SCENARIOS", "CLEAN_SCENARIOS", "run_scenario"]
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One named run with a known performance truth."""
+
+    name: str
+    description: str
+    #: Finding kinds this scenario must produce (empty for clean runs).
+    expect: tuple[str, ...]
+    build: Callable[[int], WorkflowResult]
+
+
+# -- clean baselines ------------------------------------------------------
+
+
+def _clean(seed: int) -> WorkflowResult:
+    """Healthy GPU-bound DDMD (two adaptive phases)."""
+    experiment = adaptive_experiment().with_updates(
+        phases=2,
+        phase_overrides=({"num_train_tasks": 1}, {"num_train_tasks": 2}),
+    )
+    return run_ddmd_experiment(experiment, seed=seed)
+
+
+def _clean_mpi(seed: int) -> WorkflowResult:
+    """Healthy TAU-profiled MPI run (two OpenFOAM configurations)."""
+    experiment = replace(
+        TUNING, rank_configs=(20, 82), instances_per_config=1
+    )
+    return run_openfoam_experiment(experiment, seed=seed)
+
+
+# -- fault scenarios ------------------------------------------------------
+#
+# Node layout in these runs (agent first, then service, then compute,
+# in cluster order): cn0000 = agent, cn0001 = SOMA service node, and
+# cn0002.. the application compute nodes.
+
+
+def _bag(
+    count: int,
+    duration: float,
+    cores: int,
+    name: str,
+    cpu_busy: bool = True,
+) -> list[TaskDescription]:
+    return [
+        TaskDescription(
+            name=f"{name}-{i}",
+            model=FixedDurationModel(duration, cpu_busy=cpu_busy),
+            ranks=1,
+            cores_per_rank=cores,
+            multi_node=False,
+        )
+        for i in range(count)
+    ]
+
+
+def _run_bag(descriptions, **kwargs) -> WorkflowResult:
+    def workload(client, deployment) -> Generator:
+        tasks = client.submit_tasks(descriptions)
+        yield from client.wait_tasks(tasks)
+        return {"tasks": len(tasks)}
+
+    return run_workflow(workload, **kwargs)
+
+
+def _oversubscribed(seed: int) -> WorkflowResult:
+    """CPU hogs pin both compute nodes at ~95% for ~2400 s.
+
+    40 of 42 usable cores busy per node (plus the monitor core) —
+    sustained far beyond anything the clean runs exhibit.
+    """
+    return _run_bag(
+        _bag(count=4, duration=2400.0, cores=20, name="cpu-hog"),
+        nodes=2,
+        agent_nodes=1,
+        service_nodes=1,
+        soma_config=SomaConfig(
+            namespaces=(WORKFLOW, HARDWARE),
+            monitors=("proc", "rp"),
+            monitoring_frequency=60.0,
+            hardware_frequency=30.0,
+        ),
+        seed=seed,
+    )
+
+
+def _queueing(seed: int) -> WorkflowResult:
+    """SOMA ingest overload: frequent publishes into a slowed service.
+
+    One service rank per namespace, heavy per-publish processing, 5 s
+    hardware sampling from four nodes — then the service node drops to
+    5% speed for 600 s and the publish queue builds up.
+    """
+    plan = FaultPlan().node_slowdown(
+        at=120.0, node="cn0001", factor=0.05, duration=600.0
+    )
+    return _run_bag(
+        # Light non-CPU tasks: activity for the RP monitor to report
+        # without tripping the CPU or starvation detectors.  Two waves
+        # so the run spans the whole fault window.
+        _bag(count=60, duration=240.0, cores=4, name="io", cpu_busy=False),
+        nodes=4,
+        agent_nodes=1,
+        service_nodes=1,
+        soma_config=SomaConfig(
+            namespaces=(WORKFLOW, HARDWARE),
+            monitors=("proc", "rp"),
+            monitoring_frequency=10.0,
+            hardware_frequency=5.0,
+            ranks_per_namespace=1,
+            # Ingest-side summarization cost per publish (the knob the
+            # paper's Scaling B stresses with frequent monitoring).
+            base_service_time=0.4,
+        ),
+        seed=seed,
+        drain_seconds=30.0,
+        fault_plan=plan,
+    )
+
+
+def _imbalance(seed: int) -> WorkflowResult:
+    """A badly decomposed 34-rank MPI solve (TAU-profiled).
+
+    ``imbalance_sigma`` an order of magnitude above the calibrated
+    solver: a few straggler ranks do ~4x the mean compute.  34 ranks
+    (~80% of one node) keep utilization below the saturation level, so
+    the straggler tail shows up only in the TAU per-rank breakdown,
+    not as CPU saturation.
+    """
+    experiment = replace(
+        TUNING,
+        rank_configs=(34,),
+        instances_per_config=1,
+        params=OpenFOAMParams(imbalance_sigma=0.55),
+    )
+    return run_openfoam_experiment(experiment, seed=seed)
+
+
+def _starvation(seed: int) -> WorkflowResult:
+    """Throughput collapse: both compute nodes drop to 1% mid-bag.
+
+    A GPU-bound bag (6 concurrent tasks per node, GPU-limited, CPU
+    nearly idle) whose pending tail keeps waiting while the ``done``
+    counter freezes for ~2000 s — the starvation signature in
+    isolation from CPU oversubscription.
+    """
+    plan = (
+        FaultPlan()
+        .node_slowdown(at=200.0, node="cn0002", factor=0.01, duration=2000.0)
+        .node_slowdown(at=200.0, node="cn0003", factor=0.01, duration=2000.0)
+    )
+    return _run_bag(
+        [
+            TaskDescription(
+                name=f"gpu-work-{i}",
+                model=GPUStageTaskModel(gpu_seconds=120.0, cpu_seconds=4.0),
+                ranks=1,
+                cores_per_rank=2,
+                gpus_per_rank=1,
+                multi_node=False,
+            )
+            for i in range(36)
+        ],
+        nodes=2,
+        agent_nodes=1,
+        service_nodes=1,
+        soma_config=SomaConfig(
+            namespaces=(WORKFLOW, HARDWARE),
+            monitors=("proc", "rp"),
+            monitoring_frequency=60.0,
+            hardware_frequency=30.0,
+        ),
+        seed=seed,
+        drain_seconds=60.0,
+        fault_plan=plan,
+    )
+
+
+#: Every named scenario, clean first.
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="clean",
+            description="healthy GPU-bound DDMD (2 adaptive phases)",
+            expect=(),
+            build=_clean,
+        ),
+        Scenario(
+            name="clean-mpi",
+            description="healthy TAU-profiled OpenFOAM (20r + 82r)",
+            expect=(),
+            build=_clean_mpi,
+        ),
+        Scenario(
+            name="oversubscribed",
+            description="CPU hog bag pinning both compute nodes",
+            expect=("cpu_oversubscription",),
+            build=_oversubscribed,
+        ),
+        Scenario(
+            name="queueing",
+            description="frequent monitoring into a slowed SOMA service",
+            expect=("rpc_queueing",),
+            build=_queueing,
+        ),
+        Scenario(
+            name="imbalance",
+            description="badly decomposed 34-rank MPI solve",
+            expect=("load_imbalance",),
+            build=_imbalance,
+        ),
+        Scenario(
+            name="starvation",
+            description="compute nodes at 1% speed mid-bag for ~2000 s",
+            expect=("scheduler_starvation",),
+            build=_starvation,
+        ),
+    )
+}
+
+#: The calibration set: scenarios that must produce zero findings.
+CLEAN_SCENARIOS: tuple[str, ...] = ("clean", "clean-mpi")
+
+
+def run_scenario(name: str, seed: int = 42) -> WorkflowResult:
+    """Run one named scenario end to end."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    return scenario.build(seed)

@@ -7,6 +7,7 @@ Usage::
     python -m repro ddmd --experiment adaptive
     python -m repro scaling --pipelines 16 --modes none shared exclusive
     python -m repro sweep --jobs 4 --manifest sweep.json
+    python -m repro bottleneck battery
     python -m repro lint src/repro
 """
 
@@ -132,6 +133,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--top", type=int, default=10,
         help="rows in the critical-path span table (default: 10)",
+    )
+
+    p_bneck = sub.add_parser(
+        "bottleneck",
+        help="run the bottleneck detectors over a named scenario",
+        description=(
+            "Run one named scenario (or the whole battery) through the "
+            "repro.analysis.bottleneck detectors and report the "
+            "findings.  Every scenario has a known truth: clean runs "
+            "must produce zero findings, fault runs must produce "
+            "exactly their planted bottleneck kind — the exit status "
+            "reflects whether the detectors agreed."
+        ),
+    )
+    p_bneck.add_argument(
+        "experiment",
+        nargs="?",
+        default="battery",
+        metavar="SCENARIO",
+        help="a scenario name, or 'battery' for all of them "
+        "(default: battery; see repro.analysis.bottleneck.SCENARIOS)",
+    )
+    p_bneck.add_argument("--seed", type=int, default=42)
+    p_bneck.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON instead of rendered text",
+    )
+    p_bneck.add_argument(
+        "--calibrate", action="store_true",
+        help="re-derive the thresholds from the clean scenarios "
+        "instead of running detectors",
+    )
+    p_bneck.add_argument(
+        "--margin", type=float, default=None, metavar="FACTOR",
+        help="calibration safety margin (default: 1.5; only with "
+        "--calibrate)",
     )
 
     p_lint = sub.add_parser(
@@ -452,6 +489,99 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bottleneck(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.bottleneck import (
+        SCENARIOS,
+        DetectionContext,
+        calibrate,
+        detect_all,
+        render_findings,
+        run_scenario,
+    )
+    from .analysis.bottleneck.calibrate import DEFAULT_MARGIN
+
+    if args.calibrate:
+        report = calibrate(margin=args.margin or DEFAULT_MARGIN)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "thresholds": report.thresholds.to_dict(),
+                        "observed": report.observed,
+                        "samples": report.samples,
+                        "margin": report.margin,
+                        "seeds": list(report.seeds),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(report.render())
+        return 0
+    if args.margin is not None:
+        raise SystemExit("--margin only makes sense with --calibrate")
+
+    names = (
+        list(SCENARIOS) if args.experiment == "battery" else [args.experiment]
+    )
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        known = ", ".join(SCENARIOS)
+        raise SystemExit(
+            f"unknown scenario {unknown[0]!r}; known: {known}, battery"
+        )
+
+    mismatches = []
+    kinds_seen: set[str] = set()
+    report_json = []
+    for name in names:
+        scenario = SCENARIOS[name]
+        result = run_scenario(name, seed=args.seed)
+        ctx = DetectionContext.from_result(result)
+        findings = detect_all(ctx)
+        kinds = sorted({f.kind for f in findings})
+        kinds_seen.update(kinds)
+        ok = set(kinds) == set(scenario.expect)
+        if not ok:
+            mismatches.append(name)
+        if args.json:
+            report_json.append(
+                {
+                    "scenario": name,
+                    "seed": args.seed,
+                    "expected": list(scenario.expect),
+                    "ok": ok,
+                    "findings": [f.to_dict() for f in findings],
+                }
+            )
+            continue
+        verdict = "ok" if ok else "MISMATCH"
+        expected = "/".join(scenario.expect) or "none"
+        print(
+            f"== {name} (seed {args.seed}) — {scenario.description}; "
+            f"expected: {expected} [{verdict}]"
+        )
+        print(render_findings(findings))
+        print()
+    if args.json:
+        print(json.dumps(report_json, indent=2))
+    elif args.experiment == "battery":
+        print(
+            f"battery: {len(names)} scenario(s), {len(kinds_seen)} "
+            f"distinct finding kind(s), {len(mismatches)} mismatch(es)"
+        )
+    if mismatches:
+        print(
+            "detectors disagreed with the planted truth in: "
+            + ", ".join(mismatches),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .sanitize import simlint
 
@@ -479,6 +609,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bottleneck":
+        return _cmd_bottleneck(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces choices

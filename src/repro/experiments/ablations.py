@@ -11,11 +11,17 @@ bench can keep regenerating the same tables from the same code.
 2. **Utilization-aware placement** (Sec 4.2): schedule onto the node
    with the lowest memory-bandwidth pressure — vs. default rotating
    first-fit — for a contention-heavy bag of tasks.
+3. **Detection-driven adaptation**: pick each DDMD phase's training
+   parallelism from the online bottleneck findings — vs. the paper's
+   a-priori 1/2/4/6 schedule.
 """
 
 from __future__ import annotations
 
 from ..adaptive import AdaptiveController, RankTuningPolicy
+from ..entk.appmanager import AppManager
+from ..entk.pipeline import Pipeline
+from ..entk.stage import Stage
 from ..platform.specs import summit_like
 from ..rp.client import Client
 from ..rp.description import PilotDescription, TaskDescription
@@ -24,13 +30,17 @@ from ..rp.session import Session
 from ..soma.integration import deploy_soma
 from ..soma.namespaces import HARDWARE, WORKFLOW
 from ..soma.service import SomaConfig
+from ..workloads.ddmd import ddmd_phase_stages
 from ..workloads.openfoam import OpenFOAMParams, openfoam_task_description
+from .ddmd_exps import DDMD_ADAPTIVE_TRAIN_COUNTS, adaptive_experiment
+from .harness import run_workflow
 
 __all__ = [
     "ABLATION_RANKS",
     "ABLATION_INSTANCES",
     "run_rank_tuning_ablation",
     "run_placement_ablation",
+    "run_detection_ablation",
 ]
 
 ABLATION_RANKS = (20, 41, 82, 164)
@@ -118,3 +128,60 @@ def run_placement_ablation(adaptive: bool, seed: int) -> float:
     makespan = env.run(env.process(main(env)))
     client.close()
     return makespan
+
+
+def run_detection_ablation(
+    adaptive: bool, seed: int = 11
+) -> tuple[float, list[int]]:
+    """Makespan (and the per-phase train counts) of one adaptive-DDMD run.
+
+    Both arms run the Table 2 "Adaptive" cell phase by phase.  The
+    static arm follows the paper's a-priori 1/2/4/6 training-task
+    schedule; the detection arm starts at the same conservative count
+    and then, between phases, feeds the online bottleneck findings
+    through :meth:`~repro.adaptive.AdaptiveController.apply_findings`
+    — a healthy run scales training out immediately, a detected CPU
+    or scheduler bottleneck pulls it back to serial.
+    """
+    # Function-level import: repro.analysis.bottleneck's scenario
+    # registry imports this package's siblings.
+    from ..analysis.bottleneck import DetectionContext, detect_all
+
+    experiment = adaptive_experiment()
+    counts: list[int] = []
+
+    def workload(client, deployment):
+        env = client.session.env
+        controller = AdaptiveController(client, deployment)
+        manager = AppManager(client, stages_per_phase=4)
+        start = env.now
+        count = DDMD_ADAPTIVE_TRAIN_COUNTS[0]
+        for phase in range(experiment.phases):
+            if not adaptive:
+                count = DDMD_ADAPTIVE_TRAIN_COUNTS[phase]
+            counts.append(count)
+            params = experiment.params.with_updates(num_train_tasks=count)
+            pipeline = Pipeline(name=f"ddmd-ph{phase}")
+            for stage_name, tasks in ddmd_phase_stages(
+                params, phase_index=phase, pipeline=0
+            ):
+                pipeline.add_stage(Stage(name=stage_name, tasks=tasks))
+            yield from manager.run([pipeline])
+            if adaptive:
+                ctx = DetectionContext.from_deployment(
+                    deployment, now=env.now
+                )
+                applied = controller.apply_findings(detect_all(ctx))
+                count = applied["training_workers"]
+        return {"makespan": env.now - start, "train_counts": list(counts)}
+
+    result = run_workflow(
+        workload,
+        nodes=experiment.app_nodes,
+        agent_nodes=1,
+        service_nodes=experiment.soma_nodes,
+        share_service_nodes=(experiment.soma_mode == "shared"),
+        soma_config=experiment.soma_config(),
+        seed=seed,
+    )
+    return result.payload["makespan"], counts

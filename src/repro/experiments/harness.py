@@ -102,6 +102,8 @@ class WorkflowResult:
     finished_at: float
     #: Free-form payload the workload function returned.
     payload: Any = None
+    #: The fault injector armed for this run, if any.
+    injector: Any = None
 
     @property
     def application_tasks(self) -> list[Task]:
@@ -128,6 +130,7 @@ def run_workflow(
     trace: bool = True,
     telemetry: bool | None = None,
     drain_seconds: float = 0.0,
+    fault_plan: Any = None,
 ) -> WorkflowResult:
     """Run one complete workflow on a fresh simulated machine.
 
@@ -137,6 +140,10 @@ def run_workflow(
     configuration with no service and no monitors.  ``telemetry=None``
     defers to the process default (``set_default_telemetry`` /
     ``REPRO_TELEMETRY``); the simulated run is byte-identical either way.
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) arms a
+    :class:`~repro.faults.FaultInjector` against the session before the
+    run starts — this is how the bottleneck scenarios inject their
+    known faults.
     """
     # Restart process-global uid mints so a workflow's trace stream
     # depends only on (workload, seed, config) — never on how many
@@ -161,6 +168,13 @@ def run_workflow(
     client = Client(session)
     env = session.env
     box: dict[str, Any] = {}
+
+    injector = None
+    if fault_plan is not None:
+        from ..faults import FaultInjector
+
+        injector = FaultInjector(session, fault_plan)
+        injector.start()
 
     def main() -> Generator[Event, Any, None]:
         pilot = yield from client.submit_pilot(
@@ -197,4 +211,5 @@ def run_workflow(
         makespan=box["makespan"],
         finished_at=env.now,
         payload=box.get("payload"),
+        injector=injector,
     )

@@ -107,15 +107,20 @@ def task_state_observations(
 
 def workflow_summary_series(
     store: NamespaceStore,
-) -> list[dict[str, float]]:
-    """The RP monitor's summary stats, one dict per publish."""
-    out: list[dict[str, float]] = []
+) -> list[dict]:
+    """The RP monitor's summary stats, one dict per publish.
+
+    Each entry carries the publishing record's ``source`` so consumers
+    can separate interleaved series when several monitors publish into
+    the same namespace.
+    """
+    out: list[dict] = []
     for record in store:
         data = record.data
         if "RP/summary" not in data:
             continue
         summary = data["RP/summary"]
-        entry: dict[str, float] = {"time": record.time}
+        entry: dict = {"time": record.time, "source": record.source}
         for key in ("tasks_seen", "done", "failed", "running", "pending"):
             if key in summary:
                 entry[key] = float(summary[key])
@@ -124,15 +129,27 @@ def workflow_summary_series(
 
 
 def task_throughput(store: NamespaceStore) -> list[tuple[float, float]]:
-    """(time, completed tasks per second) between consecutive summaries."""
-    series = workflow_summary_series(store)
+    """(time, completed tasks per second) between consecutive summaries.
+
+    Rates are computed only between consecutive summaries from the
+    *same* source: with several monitors publishing interleaved
+    summaries, a cross-source pair compares unrelated counters and can
+    fabricate negative rates.  Within one source a negative rate means
+    the ``done`` counter really regressed — that is a symptom worth
+    surfacing, so it is reported as-is rather than clamped to zero.
+    """
+    by_source: dict[str, list[dict]] = defaultdict(list)
+    for entry in workflow_summary_series(store):
+        by_source[entry["source"]].append(entry)
     out: list[tuple[float, float]] = []
-    for prev, cur in zip(series, series[1:]):
-        dt = cur["time"] - prev["time"]
-        if dt <= 0:
-            continue
-        rate = (cur.get("done", 0.0) - prev.get("done", 0.0)) / dt
-        out.append((cur["time"], max(0.0, rate)))
+    for series in by_source.values():
+        for prev, cur in zip(series, series[1:]):
+            dt = cur["time"] - prev["time"]
+            if dt <= 0:
+                continue
+            rate = (cur.get("done", 0.0) - prev.get("done", 0.0)) / dt
+            out.append((cur["time"], rate))
+    out.sort(key=lambda pair: pair[0])
     return out
 
 
@@ -183,15 +200,26 @@ def free_resource_estimate(
     hardware_store: NamespaceStore,
     window: float,
     now: float,
-) -> dict[str, float]:
-    """Mean recent CPU/GPU headroom per node — the online analysis the
-    adaptive DDMD experiment performs between phases (Sec 3.2)."""
+) -> dict[str, dict[str, float]]:
+    """Mean recent per-resource headroom per node — the online analysis
+    the adaptive DDMD experiment performs between phases (Sec 3.2).
+
+    Returns ``{host: {"cpu": h, "gpu": h}}`` with each component
+    clamped to ``[0, 1]``: utilization samples above 1.0 (oversampled
+    or synthetic stores) must read as *zero* headroom, not negative —
+    a negative value fed to the training policy would otherwise
+    undercount free GPUs.
+    """
     series = cpu_utilization_series(hardware_store)
-    headroom: dict[str, float] = {}
+    headroom: dict[str, dict[str, float]] = {}
     for host, points in series.items():
         recent = [p for p in points if p.time >= now - window]
         if not recent:
             continue
         cpu = float(np.mean([p.cpu_utilization for p in recent]))
-        headroom[host] = 1.0 - cpu
+        gpu = float(np.mean([p.gpu_utilization for p in recent]))
+        headroom[host] = {
+            "cpu": min(1.0, max(0.0, 1.0 - cpu)),
+            "gpu": min(1.0, max(0.0, 1.0 - gpu)),
+        }
     return headroom

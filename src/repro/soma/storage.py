@@ -33,6 +33,11 @@ class NamespaceStore:
         self.namespace = namespace
         self._records: list[PublishedRecord] = []
         self._times: list[float] = []
+        #: Per-source (times, records) parallel lists, maintained on
+        #: append so per-source queries never scan the whole store.
+        #: Both use bisect_right on insert, so each per-source list is
+        #: exactly the global list filtered to that source.
+        self._by_source: dict[str, tuple[list[float], list[PublishedRecord]]] = {}
         self.total_bytes = 0.0
 
     def __len__(self) -> int:
@@ -50,6 +55,17 @@ class NamespaceStore:
         else:
             self._times.append(time)
             self._records.append(record)
+        index = self._by_source.get(source)
+        if index is None:
+            index = self._by_source[source] = ([], [])
+        stimes, srecords = index
+        if stimes and time < stimes[-1]:
+            idx = bisect.bisect_right(stimes, time)
+            stimes.insert(idx, time)
+            srecords.insert(idx, record)
+        else:
+            stimes.append(time)
+            srecords.append(record)
         self.total_bytes += nbytes
         return record
 
@@ -61,27 +77,25 @@ class NamespaceStore:
         since: float | None = None,
         until: float | None = None,
     ) -> list[PublishedRecord]:
-        lo = 0 if since is None else bisect.bisect_left(self._times, since)
-        hi = (
-            len(self._times)
-            if until is None
-            else bisect.bisect_right(self._times, until)
-        )
-        out = self._records[lo:hi]
-        if source is not None:
-            out = [r for r in out if r.source == source]
-        return out
+        if source is None:
+            times, records = self._times, self._records
+        else:
+            index = self._by_source.get(source)
+            if index is None:
+                return []
+            times, records = index
+        lo = 0 if since is None else bisect.bisect_left(times, since)
+        hi = len(times) if until is None else bisect.bisect_right(times, until)
+        return records[lo:hi]
 
     def latest(self, source: str | None = None) -> PublishedRecord | None:
         if source is None:
             return self._records[-1] if self._records else None
-        for record in reversed(self._records):
-            if record.source == source:
-                return record
-        return None
+        index = self._by_source.get(source)
+        return index[1][-1] if index else None
 
     def sources(self) -> set[str]:
-        return {r.source for r in self._records}
+        return set(self._by_source)
 
     def merged(
         self, since: float | None = None, until: float | None = None

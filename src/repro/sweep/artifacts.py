@@ -53,6 +53,7 @@ __all__ = [
     "render_ablation_frequency",
     "render_ablation_rank_tuning",
     "render_ablation_placement",
+    "render_ablation_detection",
 ]
 
 #: Fig 11 configurations, in presentation order.
@@ -449,7 +450,9 @@ def render_adaptive(payload: dict) -> str:
                 phase,
                 count,
                 f"{train_times[phase]:.1f}",
-                f"{np.mean(list(headroom.values())):.2f}" if headroom else "-",
+                f"{np.mean([h['cpu'] for h in headroom.values()]):.2f}"
+                if headroom
+                else "-",
             ]
         )
     return render_table(
@@ -510,6 +513,28 @@ def render_ablation_placement(payloads: dict[str, dict]) -> str:
         rows,
         title="Ablation: utilization-aware placement (Sec 4.2 "
         "suggestion) — high variance, not a uniform win",
+    )
+
+
+def render_ablation_detection(payloads: dict[str, dict]) -> str:
+    driven = payloads["ablation-detection-adaptive"]
+    static = payloads["ablation-detection-static"]
+    gain = (
+        (static["makespan"] - driven["makespan"]) / static["makespan"] * 100.0
+    )
+
+    def counts(payload: dict) -> str:
+        return "/".join(str(c) for c in payload["train_counts"])
+
+    return render_table(
+        ["strategy", "train tasks per phase", "makespan (s)"],
+        [
+            ["detection-driven", counts(driven), f"{driven['makespan']:.1f}"],
+            ["static (a priori)", counts(static), f"{static['makespan']:.1f}"],
+            ["improvement", "", f"{gain:.1f}%"],
+        ],
+        title="Ablation: bottleneck-detection-driven training "
+        "parallelism vs the a-priori schedule",
     )
 
 
@@ -622,6 +647,15 @@ def default_matrix(
                     params={"which": "placement", "adaptive": adaptive},
                 )
             )
+    for label, adaptive in (("adaptive", True), ("static", False)):
+        cells.append(
+            CellSpec(
+                key=f"ablation-detection-{label}",
+                family="ablation",
+                seed=11,
+                params={"which": "detection", "adaptive": adaptive},
+            )
+        )
 
     scaling_b_cells = tuple(
         scaling_b_key(p, mode, frequent)
@@ -708,6 +742,11 @@ def default_matrix(
                     for label in ("on", "off")
                 ),
                 render_ablation_placement,
+            ),
+            Artifact(
+                "ablation_detection",
+                ("ablation-detection-adaptive", "ablation-detection-static"),
+                render_ablation_detection,
             ),
         )
     }

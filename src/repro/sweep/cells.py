@@ -19,6 +19,7 @@ from typing import Any
 
 from ..analysis.timeline import BOOTSTRAP, RUNNING, SCHEDULING, build_timeline
 from ..experiments.ablations import (
+    run_detection_ablation,
     run_placement_ablation,
     run_rank_tuning_ablation,
 )
@@ -242,7 +243,7 @@ def ddmd_cell(params: dict, seed: int) -> dict:
 
 @register_cell_family("ablation")
 def ablation_cell(params: dict, seed: int) -> dict:
-    """``{"which": "rank_tuning"|"placement", "adaptive": bool}``."""
+    """``{"which": "rank_tuning"|"placement"|"detection", "adaptive": bool}``."""
     which = params["which"]
     adaptive = bool(params["adaptive"])
     if which == "rank_tuning":
@@ -251,4 +252,7 @@ def ablation_cell(params: dict, seed: int) -> dict:
     if which == "placement":
         makespan = run_placement_ablation(adaptive, seed=seed)
         return jsonable({"makespan": makespan})
+    if which == "detection":
+        makespan, counts = run_detection_ablation(adaptive, seed=seed)
+        return jsonable({"makespan": makespan, "train_counts": counts})
     raise KeyError(f"unknown ablation {which!r}")

@@ -4,6 +4,7 @@ import pytest
 
 from repro.adaptive import (
     AdaptiveController,
+    DetectionDrivenPolicy,
     RankTuningPolicy,
     TrainingParallelismPolicy,
     UtilizationAwarePlacement,
@@ -176,3 +177,110 @@ class TestController:
         controller.disable_utilization_aware_placement()
         assert client.agent.scheduler._node_ranker is None
         client.close()
+
+    def test_recommended_ranks_dedupes_unchanged_choice(self, stack):
+        session, client, deployment = stack
+        controller = AdaptiveController(client, deployment)
+        controller.rank_policy.observe(20, 100.0)
+        controller.rank_policy.observe(41, 80.0)
+        first = controller.recommended_ranks()
+        assert first is not None
+        for _ in range(5):  # polling must not flood the decision log
+            assert controller.recommended_ranks() == first
+        rank_decisions = [
+            d for d in controller.decisions if d["kind"] == "rank_tuning"
+        ]
+        assert len(rank_decisions) == 1
+        client.close()
+
+    def test_placement_transitions_logged_once_each(self, stack):
+        session, client, deployment = stack
+        controller = AdaptiveController(client, deployment)
+        controller.disable_utilization_aware_placement()  # no-op: never on
+        controller.enable_utilization_aware_placement()
+        controller.enable_utilization_aware_placement()
+        controller.disable_utilization_aware_placement()
+        controller.disable_utilization_aware_placement()
+        placement = [
+            d["policy"] for d in controller.decisions
+            if d["kind"] == "placement"
+        ]
+        assert placement == ["utilization-aware", "default"]
+        client.close()
+
+    def test_apply_findings_closes_the_loop(self, stack):
+        session, client, deployment = stack
+        controller = AdaptiveController(client, deployment)
+        healthy = controller.apply_findings([])
+        # 1 compute node x 6 GPUs, no adverse findings: fan out.
+        assert healthy["training_workers"] == 6
+        assert healthy["monitor_period"] == pytest.approx(20.0)
+        controller.apply_findings([])  # unchanged outcome: no new entry
+        congested = controller.apply_findings(["rpc_queueing"])
+        assert congested["training_workers"] == 6
+        assert congested["monitor_period"] == pytest.approx(40.0)
+        starved = controller.apply_findings(["scheduler_starvation"])
+        assert starved["training_workers"] == 1
+        detections = [
+            d for d in controller.decisions if d["kind"] == "detection"
+        ]
+        assert len(detections) == 3
+        assert detections[1]["findings"] == ["rpc_queueing"]
+        client.close()
+
+
+class TestDetectionDrivenPolicy:
+    def test_healthy_run_fans_out_to_modeled_best(self):
+        policy = DetectionDrivenPolicy()
+        # 260/6 + 7*log2(7) beats every smaller worker count.
+        assert policy.recommend_training_workers([], free_gpus=12) == 6
+
+    def test_gpu_budget_caps_fan_out(self):
+        policy = DetectionDrivenPolicy()
+        assert policy.recommend_training_workers([], free_gpus=3) == 3
+        assert policy.recommend_training_workers([], free_gpus=0) == 1
+
+    def test_reduce_overhead_can_beat_fan_out(self):
+        policy = DetectionDrivenPolicy(
+            reduce_seconds=200.0, train_gpu_seconds=260.0
+        )
+        assert policy.recommend_training_workers([], free_gpus=12) == 1
+
+    @pytest.mark.parametrize(
+        "kind", ("cpu_oversubscription", "scheduler_starvation")
+    )
+    def test_capacity_pressure_forces_serial(self, kind):
+        policy = DetectionDrivenPolicy()
+        assert policy.recommend_training_workers([kind], free_gpus=12) == 1
+
+    def test_finding_objects_and_strings_both_accepted(self):
+        from repro.analysis.bottleneck import Finding
+
+        finding = Finding(
+            kind="cpu_oversubscription",
+            detector="cpu-oversubscription",
+            where="cn0002",
+            start=0.0,
+            end=300.0,
+            severity=2.0,
+            evidence={},
+            threshold={},
+            action="",
+        )
+        policy = DetectionDrivenPolicy()
+        assert policy.recommend_training_workers([finding], free_gpus=12) == 1
+
+    def test_queueing_backs_off_monitoring(self):
+        policy = DetectionDrivenPolicy()
+        assert policy.recommend_monitor_period(
+            ["rpc_queueing"], current=60.0
+        ) == pytest.approx(120.0)
+        # Capped at the maximum period.
+        assert policy.recommend_monitor_period(
+            ["rpc_queueing"], current=200.0
+        ) == pytest.approx(240.0)
+
+    def test_quiet_run_keeps_period_floored(self):
+        policy = DetectionDrivenPolicy()
+        assert policy.recommend_monitor_period([], current=60.0) == 60.0
+        assert policy.recommend_monitor_period([], current=1.0) == 10.0

@@ -107,7 +107,9 @@ class TestHarness:
         analyses = res.payload["analyses"]
         assert len(analyses) == 2
         assert analyses[0]["phase"] == 0
-        # Headroom per node, within [0, 1].
+        # Per-resource headroom per node, each component within [0, 1].
         assert analyses[-1]["headroom"]
         for value in analyses[-1]["headroom"].values():
-            assert 0.0 <= value <= 1.0
+            assert set(value) == {"cpu", "gpu"}
+            assert 0.0 <= value["cpu"] <= 1.0
+            assert 0.0 <= value["gpu"] <= 1.0

@@ -69,9 +69,23 @@ class TestHardwareAnalysis:
 
     def test_free_resource_estimate_window(self):
         headroom = free_resource_estimate(hw_store(), window=40.0, now=100.0)
-        # Only samples in [60, 100]: cn0001 has 0.8, 0.9 -> 1-0.85.
-        assert headroom["cn0001"] == pytest.approx(0.15)
+        # Only samples in [60, 100]: cn0001 has cpu 0.8, 0.9 -> 1-0.85
+        # and gpu 0.4, 0.45 -> 1-0.425.
+        assert headroom["cn0001"]["cpu"] == pytest.approx(0.15)
+        assert headroom["cn0001"]["gpu"] == pytest.approx(0.575)
         assert "cn0002" not in headroom  # sample at 45 is outside
+
+    def test_free_resource_estimate_clamps_oversubscribed(self):
+        store = NamespaceStore("hardware")
+        from repro.conduit import Node
+
+        tree = Node()
+        tree["PROC/cn0001/50.000000/cpu_utilization"] = 1.4
+        tree["PROC/cn0001/50.000000/gpu_utilization"] = 1.1
+        store.append(50.0, "hwmon@cn0001", tree)
+        headroom = free_resource_estimate(store, window=100.0, now=100.0)
+        # Oversubscribed samples clamp to zero headroom, never negative.
+        assert headroom["cn0001"] == {"cpu": 0.0, "gpu": 0.0}
 
     def test_empty_store(self):
         assert cpu_utilization_series(NamespaceStore("hardware")) == {}
@@ -89,6 +103,34 @@ class TestWorkflowAnalysis:
         rates = task_throughput(wf_store())
         assert rates[0][1] == pytest.approx(3 / 60.0)
         assert rates[1][1] == pytest.approx(6 / 60.0)
+
+    def test_throughput_skips_cross_source_pairs(self):
+        from repro.conduit import Node
+
+        store = wf_store()
+        # A second monitor publishing its own (lower) counters midway
+        # must not fabricate rates against the first monitor's series.
+        tree = Node()
+        tree["RP/summary/timestamp"] = 150.0
+        tree["RP/summary/done"] = 1
+        store.append(150.0, "rpmon-b", tree)
+        rates = dict(task_throughput(store))
+        assert rates[120.0] == pytest.approx(3 / 60.0)
+        assert rates[180.0] == pytest.approx(6 / 60.0)
+        assert 150.0 not in rates  # lone cross-source sample: no pair
+
+    def test_throughput_surfaces_counter_regression(self):
+        from repro.conduit import Node
+
+        store = wf_store()
+        # Same source regressing its done counter: a real symptom the
+        # old clamp silently hid — the negative rate must surface.
+        tree = Node()
+        tree["RP/summary/timestamp"] = 240.0
+        tree["RP/summary/done"] = 3
+        store.append(240.0, "rpmon", tree)
+        rates = dict(task_throughput(store))
+        assert rates[240.0] == pytest.approx(-6 / 60.0)
 
     def test_state_observations(self):
         obs = task_state_observations(wf_store(), event="AGENT_EXECUTING")

@@ -67,3 +67,40 @@ def test_out_of_order_insert_keeps_time_order():
 
 def test_iteration(store):
     assert len(list(store)) == 3
+
+
+def test_source_window_query(store):
+    recs = store.records(source="hwmon@cn0001", since=1.5)
+    assert [r.time for r in recs] == [3.0]
+    assert store.records(source="hwmon@cn0001", since=1.5, until=2.5) == []
+    assert store.records(source="ghost", since=0.0) == []
+
+
+def test_source_index_matches_linear_scan_out_of_order():
+    """The per-source index must be the global list filtered by source,
+    even through the insort path and timestamp ties."""
+    s = NamespaceStore("x")
+    appends = [
+        (5.0, "a"), (1.0, "b"), (3.0, "a"), (3.0, "b"),
+        (2.0, "a"), (5.0, "b"), (4.0, "a"), (3.0, "a"),
+    ]
+    for i, (at, source) in enumerate(appends):
+        s.append(at, source, tree(v=i))
+    for source in ("a", "b"):
+        expected = [r for r in s.records() if r.source == source]
+        assert s.records(source=source) == expected
+        assert s.latest(source) == expected[-1]
+        for since, until in ((None, None), (2.0, 4.0), (3.0, 3.0), (6.0, None)):
+            assert s.records(source=source, since=since, until=until) == [
+                r for r in expected
+                if (since is None or r.time >= since)
+                and (until is None or r.time <= until)
+            ]
+
+
+def test_source_index_latest_after_late_arrival():
+    s = NamespaceStore("x")
+    s.append(10.0, "a", tree(v=1))
+    s.append(4.0, "a", tree(v=2))  # late arrival must not become latest
+    assert s.latest("a").time == 10.0
+    assert [r.time for r in s.records(source="a")] == [4.0, 10.0]

@@ -95,3 +95,36 @@ def test_sweep_filter_runs_and_renders(tmp_path, capsys):
 def test_sweep_unknown_filter_rejected(tmp_path):
     with pytest.raises(SystemExit):
         main(["sweep", "--filter", "no-such-artifact", "--dir", str(tmp_path)])
+
+
+def test_bottleneck_scenario(capsys):
+    assert main(["bottleneck", "oversubscribed", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "cpu_oversubscription" in out
+    assert "[ok]" in out
+
+
+def test_bottleneck_clean_scenario_reports_quiet(capsys):
+    assert main(["bottleneck", "clean", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+
+
+def test_bottleneck_json(capsys):
+    import json
+
+    assert main(["bottleneck", "imbalance", "--seed", "42", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report[0]["scenario"] == "imbalance"
+    assert report[0]["ok"] is True
+    assert report[0]["findings"][0]["kind"] == "load_imbalance"
+
+
+def test_bottleneck_unknown_scenario_rejected():
+    with pytest.raises(SystemExit):
+        main(["bottleneck", "no-such-scenario"])
+
+
+def test_bottleneck_margin_requires_calibrate():
+    with pytest.raises(SystemExit):
+        main(["bottleneck", "clean", "--margin", "2.0"])
