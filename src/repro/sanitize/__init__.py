@@ -5,7 +5,9 @@ Two halves of one guarantee:
 * :mod:`repro.sanitize.simlint` — static analysis (``python -m repro
   lint``): AST rules that flag wall-clock reads, unseeded randomness,
   hash/id ordering, interrupt swallowing, and event/resource lifecycle
-  bugs before they run.
+  bugs before they run.  ``--flow`` upgrades it with the CFG/dataflow
+  engine in :mod:`repro.sanitize.flow` (interprocedural determinism
+  taint, path-sensitive lifecycle/interrupt proofs, SL100+).
 * :mod:`repro.sim.sanitizer` — runtime sanitizers
   (``Environment(sanitize=True)`` or ``REPRO_SANITIZE=1``): event-leak,
   deadlock, resource-leak, and shared-dict race detection riding the
@@ -23,6 +25,13 @@ from ..sim.sanitizer import (
     SharedDict,
     drain_spontaneous_findings,
 )
+from .flow import (
+    build_cfg,
+    build_program,
+    compute_summaries,
+    flow_findings,
+    solve_forward,
+)
 from .simlint import RULES, Finding, Report, Rule, lint_paths, lint_source
 
 __all__ = [
@@ -32,6 +41,11 @@ __all__ = [
     "Report",
     "lint_source",
     "lint_paths",
+    "build_cfg",
+    "solve_forward",
+    "build_program",
+    "compute_summaries",
+    "flow_findings",
     "KernelSanitizer",
     "SanitizerError",
     "SanitizerFinding",

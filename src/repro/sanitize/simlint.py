@@ -180,6 +180,42 @@ _RULE_LIST = [
         "a granted request that no path releases pins a resource slot "
         "until process exit; use `with resource.request() as req:`",
     ),
+    # -- flow-sensitive family (emitted only under --flow; implemented in
+    # repro.sanitize.flow.rules on the CFG/dataflow engine) ---------------
+    Rule(
+        "SL100",
+        "taint-to-sink",
+        "nondeterministic value reaches a scheduling sink",
+        "a wall-clock/RNG/entropy/ordering value that flows (possibly "
+        "through helpers) into a delay, payload, or priority makes the "
+        "schedule differ run to run; occurrences that never reach the "
+        "kernel are harmless and are not flagged",
+    ),
+    Rule(
+        "SL101",
+        "leaked-request",
+        "request not released on some path",
+        "a .request() held at function exit on any normal-completion "
+        "path pins the resource slot; unlike SL011 this follows the CFG, "
+        "so functions that release on every real path are clean",
+    ),
+    Rule(
+        "SL102",
+        "stale-shared-write",
+        "shared value written back stale across a yield",
+        "a value read before a yield and written back after it "
+        "overwrites any update a concurrent process made during the "
+        "suspension — the static twin of the runtime lost-update "
+        "sanitizer",
+    ),
+    Rule(
+        "SL103",
+        "swallowed-interrupt",
+        "broad except path swallows Interrupt",
+        "only flagged when some handler path neither re-raises nor "
+        "returns; `if isinstance(e, Interrupt): raise` followed by "
+        "recovery code is proven clean, where SL008 had to flag it",
+    ),
 ]
 
 #: All rules, keyed by id.  Rule *names* resolve through :func:`_rule_for`.
@@ -202,6 +238,7 @@ class Finding:
     message: str
     suppressed: bool = False
     justification: str | None = None
+    baselined: bool = False
 
     def format(self) -> str:
         text = (
@@ -210,6 +247,8 @@ class Finding:
         )
         if self.suppressed:
             text += f"  (suppressed: {self.justification})"
+        elif self.baselined:
+            text += "  (baselined)"
         return text
 
     def to_dict(self) -> dict:
@@ -222,6 +261,7 @@ class Finding:
             "message": self.message,
             "suppressed": self.suppressed,
             "justification": self.justification,
+            "baselined": self.baselined,
         }
 
 
@@ -335,6 +375,12 @@ _NUMPY_RANDOM_OK = {
 
 _SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
 
+#: Builtins whose result does not depend on argument iteration order —
+#: feeding a set (or a comprehension over one) into these is clean.
+_ORDER_INSENSITIVE = {
+    "sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+}
+
 
 class _Imports(ast.NodeVisitor):
     """Resolve local names to dotted module paths."""
@@ -441,6 +487,10 @@ class _Linter(ast.NodeVisitor):
         self.imports = imports
         self.findings: list[Finding] = []
         self._func_stack: list[str] = []
+        # Comprehensions passed straight into an order-insensitive
+        # builtin (``sum(x for x in some_set)``): exempt from SL005.
+        # AST nodes hash by identity.
+        self._order_free: set[ast.AST] = set()
 
     # -- helpers -------------------------------------------------------
 
@@ -479,6 +529,8 @@ class _Linter(ast.NodeVisitor):
                     node,
                     "time.sleep() blocks the host; yield env.timeout(delay)",
                 )
+            elif dotted == "random.Random" and (node.args or node.keywords):
+                pass  # an explicitly seeded instance is deterministic
             elif dotted.startswith("random."):
                 self._flag(
                     "SL003",
@@ -505,6 +557,13 @@ class _Linter(ast.NodeVisitor):
                 )
         elif isinstance(node.func, ast.Name):
             name = node.func.id
+            if name in _ORDER_INSENSITIVE and self._is_builtin(name):
+                for arg in node.args:
+                    if isinstance(
+                        arg,
+                        (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+                    ):
+                        self._order_free.add(arg)
             if name == "id" and self._is_builtin(name):
                 self._flag(
                     "SL006",
@@ -537,6 +596,9 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _check_comprehension(self, node: ast.AST) -> None:
+        if node in self._order_free:
+            self.generic_visit(node)
+            return
         for gen in node.generators:  # type: ignore[attr-defined]
             if _is_set_expr(gen.iter):
                 self._flag(
@@ -656,12 +718,26 @@ class _Linter(ast.NodeVisitor):
         # SL011: .request() outside `with`, in a function that never
         # releases or cancels anything.
         with_contexts: set[ast.Call] = set()  # AST nodes hash by identity
+        with_names: set[str] = set()
         for child in _walk_same_function(func):
             if isinstance(child, (ast.With, ast.AsyncWith)):
                 for item in child.items:
                     expr = item.context_expr
                     if isinstance(expr, ast.Call):
                         with_contexts.add(expr)
+                    elif isinstance(expr, ast.Name):
+                        # `req = r.request()` then `with req as g:` —
+                        # the with still releases on exit.
+                        with_names.add(expr.id)
+        for child in _walk_same_function(func):
+            if (
+                isinstance(child, ast.Assign)
+                and len(child.targets) == 1
+                and isinstance(child.targets[0], ast.Name)
+                and child.targets[0].id in with_names
+                and isinstance(child.value, ast.Call)
+            ):
+                with_contexts.add(child.value)
         releases = any(
             isinstance(child, ast.Call)
             and isinstance(child.func, ast.Attribute)
@@ -689,8 +765,17 @@ class _Linter(ast.NodeVisitor):
 # public API
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Lint one source string; returns all findings, suppressed ones marked."""
+def lint_source(
+    source: str, path: str = "<string>", *, flow: bool = False, program=None
+) -> list[Finding]:
+    """Lint one source string; returns all findings, suppressed ones marked.
+
+    With ``flow=True`` the flow-sensitive family (SL100+) runs and the
+    syntactic rules it supersedes are dropped; ``program`` may carry a
+    pre-built whole-tree :class:`repro.sanitize.flow.summaries.Program`
+    so taint follows calls across files (built from this file alone
+    when omitted).
+    """
     suppressions, findings = _parse_suppressions(source, path)
     try:
         tree = ast.parse(source, filename=path)
@@ -710,6 +795,22 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     linter = _Linter(path, imports)
     linter.visit(tree)
     findings.extend(linter.findings)
+    if flow:
+        # Imported lazily: flow builds on this module.
+        from .flow.rules import REPLACED_BY_FLOW, flow_findings
+        from .flow.summaries import build_program, compute_summaries
+
+        findings = [f for f in findings if f.rule.id not in REPLACED_BY_FLOW]
+        if program is None:
+            program = build_program([(path, source)])
+            compute_summaries(program)
+        flow_findings(
+            program,
+            path,
+            lambda rule_id, line, col, message: findings.append(
+                Finding(RULES[rule_id], path, line, col, message)
+            ),
+        )
     for finding in findings:
         if finding.rule.id == "SL000":
             continue  # suppression hygiene findings cannot be suppressed
@@ -721,9 +822,9 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     return findings
 
 
-def lint_file(path: str) -> list[Finding]:
+def lint_file(path: str, *, flow: bool = False, program=None) -> list[Finding]:
     with open(path, encoding="utf-8") as handle:
-        return lint_source(handle.read(), path)
+        return lint_source(handle.read(), path, flow=flow, program=program)
 
 
 def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -753,15 +854,27 @@ class Report:
     def suppressed(self) -> list[Finding]:
         return [f for f in self.findings if f.suppressed]
 
+    @property
+    def new(self) -> list[Finding]:
+        """Findings that gate: neither suppressed nor in the baseline."""
+        return [f for f in self.findings if not f.suppressed and not f.baselined]
+
     def format_text(self, show_suppressed: bool = False) -> str:
-        lines = [f.format() for f in self.unsuppressed]
+        lines = [f.format() for f in self.unsuppressed if not f.baselined]
         if show_suppressed:
+            lines.extend(
+                f.format() for f in self.unsuppressed if f.baselined
+            )
             lines.extend(f.format() for f in self.suppressed)
-        lines.append(
+        baselined = len(self.unsuppressed) - len(self.new)
+        summary = (
             f"simlint: {self.files_scanned} files, "
-            f"{len(self.unsuppressed)} findings, "
+            f"{len(self.new)} findings, "
             f"{len(self.suppressed)} suppressed"
         )
+        if baselined:
+            summary += f", {baselined} baselined"
+        lines.append(summary)
         return "\n".join(lines)
 
     def format_json(self) -> str:
@@ -774,25 +887,100 @@ class Report:
         )
 
 
-def lint_paths(paths: Iterable[str]) -> Report:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+def lint_paths(paths: Iterable[str], *, flow: bool = False) -> Report:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    In flow mode the whole file set is parsed into one program first so
+    interprocedural summaries span files, then each file is linted
+    against it.
+    """
     report = Report()
-    for path in _iter_python_files(paths):
+    files = list(_iter_python_files(paths))
+    program = None
+    if flow:
+        from .flow.summaries import build_program, compute_summaries
+
+        sources = []
+        for path in files:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    sources.append((path, handle.read()))
+            except OSError:
+                continue
+        program = build_program(sources)
+        compute_summaries(program)
+    for path in files:
         report.files_scanned += 1
-        report.findings.extend(lint_file(path))
+        report.findings.extend(lint_file(path, flow=flow, program=program))
     return report
+
+
+# --------------------------------------------------------------------------
+# baselines
+
+
+def _fingerprint(finding: Finding) -> str:
+    # Line numbers are deliberately excluded so unrelated edits that
+    # shift code do not invalidate the baseline.
+    return f"{finding.path}::{finding.rule.id}::{finding.message}"
+
+
+def write_baseline(report: Report, path: str) -> int:
+    """Record current unsuppressed findings; returns how many were written."""
+    counts: dict[str, int] = {}
+    for finding in report.unsuppressed:
+        key = _fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {"version": 1, "findings": counts}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return sum(counts.values())
+
+
+def apply_baseline(report: Report, path: str) -> None:
+    """Mark findings recorded in the baseline file; new ones still gate."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    budget = dict(payload.get("findings", {}))
+    for finding in report.findings:
+        if finding.suppressed:
+            continue
+        key = _fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            finding.baselined = True
 
 
 def main(
     paths: Iterable[str],
     fmt: str = "text",
     show_suppressed: bool = False,
-    stream=sys.stdout,
+    stream=None,
+    *,
+    flow: bool = False,
+    baseline: str | None = None,
+    update_baseline: bool = False,
 ) -> int:
     """Entry point behind ``python -m repro lint``; returns the exit code."""
-    report = lint_paths(paths)
+    if stream is None:
+        stream = sys.stdout
+    report = lint_paths(paths, flow=flow)
+    if baseline is not None and update_baseline:
+        written = write_baseline(report, baseline)
+        print(
+            f"simlint: wrote {written} findings to baseline {baseline}",
+            file=stream,
+        )
+        return 0
+    if baseline is not None:
+        try:
+            apply_baseline(report, baseline)
+        except FileNotFoundError:
+            print(f"simlint: baseline {baseline} not found", file=stream)
+            return 2
     if fmt == "json":
         print(report.format_json(), file=stream)
     else:
         print(report.format_text(show_suppressed=show_suppressed), file=stream)
-    return 1 if report.unsuppressed else 0
+    return 1 if report.new else 0

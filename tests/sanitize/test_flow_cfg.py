@@ -1,0 +1,235 @@
+"""CFG-builder battery: whole edge sets against hand-drawn graphs.
+
+Each case lowers one function and compares ``cfg.edges()`` — the
+complete ``(src_label, dst_label, kind)`` set — against a graph drawn
+by hand from the language semantics.  Asserting the *entire* set (not
+just presence of a few edges) pins both what the builder must produce
+and what it must not.
+"""
+
+import ast
+import textwrap
+
+from repro.sanitize.flow import build_cfg, solve_forward
+from repro.sanitize.flow.cfg import stmt_has_yield
+
+
+def cfg_for(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def test_straight_line_with_branch():
+    cfg = cfg_for(
+        """
+        def f(x):
+            a = 1
+            if x:
+                a = 2
+            return a
+        """
+    )
+    assert cfg.edges() == {
+        ("entry", "stmt@3", "next"),
+        ("stmt@3", "cond@4", "next"),
+        ("cond@4", "stmt@5", "true"),
+        ("stmt@5", "stmt@6", "next"),
+        ("cond@4", "stmt@6", "false"),
+        ("stmt@6", "exit", "return"),
+    }
+
+
+def test_generator_return_ends_the_process_early():
+    # `return` in a generator raises StopIteration at the kernel: the
+    # second yield must be reachable only on the false branch.
+    cfg = cfg_for(
+        """
+        def f(env):
+            yield env.timeout(1)
+            if env.now > 5:
+                return
+            yield env.timeout(2)
+        """
+    )
+    assert cfg.edges() == {
+        ("entry", "yield@3", "next"),
+        ("yield@3", "cond@4", "next"),
+        ("yield@3", "raise", "exc"),  # Interrupt thrown at the park
+        ("cond@4", "stmt@5", "true"),
+        ("stmt@5", "exit", "return"),
+        ("cond@4", "yield@6", "false"),
+        ("yield@6", "exit", "next"),
+        ("yield@6", "raise", "exc"),
+    }
+
+
+def test_nested_try_finally_with_yield_threads_both_cleanups():
+    # Both the normal path and the Interrupt path out of the yield must
+    # run the inner finally, then the outer finally.
+    cfg = cfg_for(
+        """
+        def f(env, res):
+            try:
+                try:
+                    yield env.timeout(1)
+                finally:
+                    res.release(1)
+            finally:
+                res.release(2)
+        """
+    )
+    assert cfg.edges() == {
+        ("entry", "yield@5", "next"),
+        ("yield@5", "final@7", "next"),
+        ("yield@5", "final@7", "exc"),  # interrupt unwinds through it too
+        ("final@7", "stmt@7", "next"),
+        ("stmt@7", "final@9", "next"),
+        ("stmt@7", "final@9", "exc"),
+        ("final@9", "stmt@9", "next"),
+        ("stmt@9", "exit", "next"),
+        ("stmt@9", "raise", "exc"),  # the re-raised Interrupt leaves
+    }
+
+
+def test_with_unwinds_through_exit_on_interrupt():
+    # An Interrupt at the yield must still pass through __exit__ (the
+    # withexit node) before propagating — that is what makes
+    # `with resource.request()` leak-free under cancellation.
+    cfg = cfg_for(
+        """
+        def f(env, res):
+            with res.request() as req:
+                yield req
+        """
+    )
+    assert cfg.edges() == {
+        ("entry", "with@3", "next"),
+        ("with@3", "yield@4", "next"),
+        ("yield@4", "withexit@3", "next"),
+        ("yield@4", "withexit@3", "exc"),
+        ("withexit@3", "exit", "next"),
+        ("withexit@3", "raise", "exc"),
+    }
+
+
+def test_loop_else_runs_only_without_break():
+    cfg = cfg_for(
+        """
+        def f(xs):
+            for x in xs:
+                if x:
+                    break
+            else:
+                return 0
+            return 1
+        """
+    )
+    assert cfg.edges() == {
+        ("entry", "loop@3", "next"),
+        ("loop@3", "cond@4", "true"),
+        ("cond@4", "stmt@5", "true"),  # the break statement
+        ("cond@4", "loop@3", "back"),  # if fall-through re-tests the loop
+        ("stmt@5", "stmt@8", "break"),  # break skips the else clause
+        ("loop@3", "stmt@7", "false"),  # exhaustion runs the else
+        ("stmt@7", "exit", "return"),
+        ("stmt@8", "exit", "return"),
+    }
+
+
+def test_handler_paths_split_on_isinstance():
+    cfg = cfg_for(
+        """
+        def f(env):
+            try:
+                yield env.timeout(1)
+            except Exception as e:
+                if isinstance(e, Interrupt):
+                    raise
+                env.log()
+        """
+    )
+    assert cfg.edges() == {
+        ("entry", "yield@4", "next"),
+        ("yield@4", "exit", "next"),
+        ("yield@4", "except@5", "exc"),
+        ("except@5", "cond@6", "next"),
+        ("cond@6", "stmt@7", "true"),
+        ("stmt@7", "raise", "raise"),  # bare raise re-raises out
+        ("cond@6", "stmt@8", "false"),
+        ("stmt@8", "exit", "next"),
+    }
+
+
+def test_while_true_has_no_false_exit():
+    cfg = cfg_for(
+        """
+        def f(env):
+            while True:
+                yield env.timeout(1)
+        """
+    )
+    assert cfg.edges() == {
+        ("entry", "cond@3", "next"),
+        ("cond@3", "yield@4", "true"),
+        ("yield@4", "cond@3", "back"),
+        ("yield@4", "raise", "exc"),
+    }
+    # exit is unreachable: no edge targets it
+    assert all(dst != "exit" for _src, dst, _kind in cfg.edges())
+
+
+def test_stmt_has_yield_spots_nested_expressions():
+    stmt = ast.parse("x = (yield ev) + 1").body[0]
+    assert stmt_has_yield(stmt)
+    plain = ast.parse("x = f() + 1").body[0]
+    assert not stmt_has_yield(plain)
+    # yields inside a nested def do not suspend *this* function
+    nested = ast.parse("def g():\n    yield 1").body[0]
+    assert not stmt_has_yield(nested)
+
+
+def test_solver_reaches_fixpoint_on_a_loop():
+    # Reaching-lines analysis over a loop: the back edge must feed the
+    # loop header until the line set stabilizes.
+    cfg = cfg_for(
+        """
+        def f(xs):
+            total = 0
+            for x in xs:
+                total = total + x
+            return total
+        """
+    )
+    states = solve_forward(
+        cfg,
+        init=frozenset(),
+        transfer=lambda node, s: s | {node.line} if node.line else s,
+        join=lambda a, b: a | b,
+    )
+    # the return's entry state has seen both the init and the loop body
+    return_node = next(
+        n for n in cfg.nodes if n.stmt is not None and n.line == 5
+    )
+    assert {3, 4} <= states[return_node.index]
+
+
+def test_solver_edge_transfer_kills_paths():
+    cfg = cfg_for(
+        """
+        def f(x):
+            if x:
+                return 1
+            return 2
+        """
+    )
+    # Kill the true edge: the `return 1` node must become unreachable.
+    states = solve_forward(
+        cfg,
+        init=frozenset(),
+        transfer=lambda node, s: s,
+        join=lambda a, b: a | b,
+        edge_transfer=lambda node, out, kind: None if kind == "true" else out,
+    )
+    reachable_lines = {cfg.nodes[i].line for i in states}
+    assert 4 not in reachable_lines  # return 1 is on line 4
+    assert 5 in reachable_lines

@@ -1,0 +1,296 @@
+"""Flow-rule battery: fixture corpus, interprocedural cases, baselines.
+
+The corpus in ``fixtures/flow/`` holds ``.py.bad`` files (each with an
+``# expect: RULE@line`` header naming every finding the flow analysis
+must produce, exactly) and ``.py.ok`` near-miss files that must come
+back completely clean.  The extensions keep the fixtures invisible to
+pytest collection, ruff, and the lint gate's ``*.py`` walk.
+"""
+
+import json
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.sanitize import simlint
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+BAD = sorted(FIXTURES.glob("*.py.bad"))
+OK = sorted(FIXTURES.glob("*.py.ok"))
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(.+)$", re.MULTILINE)
+
+
+def flow_findings(source: str, path: str = "<fixture>"):
+    findings = simlint.lint_source(source, path, flow=True)
+    return sorted(
+        (f.rule.id, f.line) for f in findings if not f.suppressed
+    )
+
+
+def expected_findings(source: str):
+    match = _EXPECT_RE.search(source)
+    assert match, "known-bad fixture is missing its `# expect:` header"
+    out = []
+    for item in match.group(1).split(","):
+        rule_id, line = item.strip().split("@")
+        out.append((rule_id, int(line)))
+    return sorted(out)
+
+
+def test_fixture_corpus_is_complete():
+    # ≥2 known-bad and ≥2 near-miss fixtures per flow rule.
+    for rule_id in ("SL100", "SL101", "SL102", "SL103"):
+        bad_hits = sum(
+            1 for p in BAD for f in expected_findings(p.read_text())
+            if f[0] == rule_id
+        )
+        ok_files = [p for p in OK if p.name.startswith(rule_id.lower())]
+        assert bad_hits >= 2, f"{rule_id}: needs >=2 known-bad findings"
+        assert len(ok_files) >= 2, f"{rule_id}: needs >=2 near-miss files"
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.name)
+def test_known_bad_fixtures_flag_exactly_as_annotated(path):
+    source = path.read_text()
+    assert flow_findings(source, str(path)) == expected_findings(source)
+
+
+@pytest.mark.parametrize("path", OK, ids=lambda p: p.name)
+def test_near_miss_fixtures_stay_clean(path):
+    source = path.read_text()
+    assert flow_findings(source, str(path)) == []
+
+
+# -- interprocedural, across files -----------------------------------------
+
+
+def test_taint_follows_returns_across_files(tmp_path):
+    (tmp_path / "clocks.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """
+        )
+    )
+    (tmp_path / "proc.py").write_text(
+        textwrap.dedent(
+            """
+            from clocks import stamp
+
+            def run(env):
+                yield env.timeout(stamp())
+            """
+        )
+    )
+    report = simlint.lint_paths([str(tmp_path)], flow=True)
+    hits = [f for f in report.findings if f.rule.id == "SL100"]
+    assert len(hits) == 1
+    assert hits[0].path.endswith("proc.py")
+    assert "time.perf_counter" in hits[0].message
+
+
+def test_flow_mode_replaces_syntactic_source_rules():
+    source = textwrap.dedent(
+        """
+        import time
+
+        def bench():
+            return time.time()
+        """
+    )
+    base_ids = {f.rule.id for f in simlint.lint_source(source)}
+    flow_ids = {f.rule.id for f in simlint.lint_source(source, flow=True)}
+    assert "SL001" in base_ids  # syntactic occurrence rule fires
+    assert flow_ids == set()  # value never reaches a sink
+
+
+def test_flow_findings_are_suppressible():
+    source = textwrap.dedent(
+        """
+        import time
+
+        def proc(env):
+            delay = time.time()
+            yield env.timeout(delay)  # simlint: disable=SL100(fixture)
+        """
+    )
+    findings = simlint.lint_source(source, flow=True)
+    assert [f.rule.id for f in findings] == ["SL100"]
+    assert findings[0].suppressed
+    assert findings[0].justification == "fixture"
+
+
+# -- base-rule precision fixes ---------------------------------------------
+
+
+def findings_for(source: str):
+    return [
+        (f.rule.id, f.line)
+        for f in simlint.lint_source(textwrap.dedent(source))
+    ]
+
+
+def test_seeded_random_instance_is_clean():
+    assert (
+        findings_for(
+            """
+            import random
+
+            rng = random.Random(1234)
+            """
+        )
+        == []
+    )
+
+
+def test_unseeded_random_instance_still_flagged():
+    found = findings_for(
+        """
+        import random
+
+        rng = random.Random()
+        """
+    )
+    assert [rule for rule, _line in found] == ["SL003"]
+
+
+def test_set_comprehension_into_order_insensitive_sink_is_clean():
+    assert (
+        findings_for(
+            """
+            total = sum(x for x in {1, 2, 3})
+            bound = max(len(str(x)) for x in {4, 5})
+            ordered = sorted(x * 2 for x in {6, 7})
+            """
+        )
+        == []
+    )
+
+
+def test_set_comprehension_into_ordered_sink_still_flagged():
+    found = findings_for(
+        """
+        materialized = list(x for x in {1, 2, 3})
+        """
+    )
+    assert [rule for rule, _line in found] == ["SL005"]
+
+
+def test_request_assigned_then_with_is_clean():
+    assert (
+        findings_for(
+            """
+            def proc(env, resource):
+                request = resource.request()
+                with request as req:
+                    yield req
+            """
+        )
+        == []
+    )
+
+
+# -- baselines --------------------------------------------------------------
+
+
+def _tree_with_finding(tmp_path):
+    target = tmp_path / "proc.py"
+    target.write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def proc(env):
+                yield env.timeout(time.time())
+            """
+        )
+    )
+    return target
+
+
+def test_baseline_roundtrip_masks_old_findings(tmp_path):
+    _tree_with_finding(tmp_path)
+    baseline = tmp_path / "lint-baseline.json"
+
+    report = simlint.lint_paths([str(tmp_path)], flow=True)
+    assert len(report.new) == 1
+    written = simlint.write_baseline(report, str(baseline))
+    assert written == 1
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1
+
+    # Same tree, baseline applied: the finding no longer gates.
+    report = simlint.lint_paths([str(tmp_path)], flow=True)
+    simlint.apply_baseline(report, str(baseline))
+    assert report.new == []
+    assert len(report.unsuppressed) == 1  # still reported, just baselined
+
+
+def test_new_findings_still_gate_with_a_baseline(tmp_path):
+    target = _tree_with_finding(tmp_path)
+    baseline = tmp_path / "lint-baseline.json"
+    report = simlint.lint_paths([str(tmp_path)], flow=True)
+    simlint.write_baseline(report, str(baseline))
+
+    # Introduce a second, different finding.
+    target.write_text(
+        target.read_text()
+        + textwrap.dedent(
+            """
+            import random
+
+            def jitter(env):
+                yield env.timeout(random.random())
+            """
+        )
+    )
+    report = simlint.lint_paths([str(tmp_path)], flow=True)
+    simlint.apply_baseline(report, str(baseline))
+    assert len(report.new) == 1
+    assert "random.random" in report.new[0].message
+
+
+def test_baseline_cli_flags(tmp_path, capfd):
+    from repro.cli import main as cli_main
+
+    _tree_with_finding(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        cli_main(
+            [
+                "lint", str(tmp_path), "--flow",
+                "--baseline", str(baseline), "--write-baseline",
+            ]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    assert (
+        cli_main(
+            ["lint", str(tmp_path), "--flow", "--baseline", str(baseline)]
+        )
+        == 0
+    )
+    out = capfd.readouterr().out
+    assert "baselined" in out
+
+
+def test_flow_gate_is_clean_tree_wide():
+    # The CI lint-flow job's contract, asserted from the suite as well:
+    # src, tests, and benchmarks produce no unsuppressed flow findings.
+    root = Path(__file__).resolve().parents[2]
+    paths = [
+        str(root / name)
+        for name in ("src", "tests", "benchmarks")
+        if (root / name).is_dir()
+    ]
+    report = simlint.lint_paths(paths, flow=True)
+    assert [f.format() for f in report.new] == []
+    for finding in report.suppressed:
+        assert finding.justification, finding.format()

@@ -43,7 +43,7 @@ def test_event_leak_names_process_and_line():
     env = Environment(sanitize=True)
 
     def leaky(env):
-        env.timeout(1000)  # armed, never yielded: leaks in the heap
+        env.timeout(1000)  # simlint: disable=SL010(deliberate leak fixture the runtime sanitizer must catch)
         yield env.timeout(1)
 
     env.process(leaky(env), name="leaky")
@@ -72,7 +72,7 @@ def test_strict_check_raises():
     env = Environment(sanitize=True)
 
     def leaky(env):
-        env.timeout(1000)
+        env.timeout(1000)  # simlint: disable=SL010(deliberate leak fixture the runtime sanitizer must catch)
         yield env.timeout(1)
 
     env.process(leaky(env), name="leaky")
@@ -152,7 +152,7 @@ def test_resource_leak_names_process_and_request_line():
     res = Resource(env, capacity=2)
 
     def hog(env, res):
-        req = res.request()  # granted, never released
+        req = res.request()  # simlint: disable=SL011(deliberate leak fixture the runtime sanitizer must catch),SL101(deliberate leak fixture the runtime sanitizer must catch)
         yield req
         yield env.timeout(1)
 
@@ -196,7 +196,7 @@ def test_shared_dict_lost_update_names_writer_and_line():
     def racer(env, counters, name):
         value = counters["hits"]  # read ...
         yield env.timeout(1)  # ... lose atomicity ...
-        counters["hits"] = value + 1  # ... write from the stale read
+        counters["hits"] = value + 1  # simlint: disable=SL102(deliberate lost-update fixture the runtime sanitizer must catch)
 
     env.process(racer(env, counters, "r1"), name="r1")
     env.process(racer(env, counters, "r2"), name="r2")

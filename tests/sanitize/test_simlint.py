@@ -412,7 +412,7 @@ def test_cli_lint_exit_codes(tmp_path, capsys):
 
 
 def test_every_rule_has_id_name_and_rationale():
-    assert len(simlint.RULES) == 12  # SL000..SL011
+    assert len(simlint.RULES) == 16  # SL000..SL011 + flow family SL100..SL103
     for rule in simlint.RULES.values():
         assert rule.id.startswith("SL")
         assert rule.name and rule.summary and rule.rationale
