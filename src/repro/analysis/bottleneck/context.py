@@ -46,16 +46,10 @@ class DetectionContext:
         if not deployment.enabled:
             return cls(now=now)
         model = deployment.service_model
-        stats = {}
-        for namespace, server in dict(model.servers).items():
-            s = server.stats
-            stats[namespace] = {
-                "ranks": server.ranks,
-                "calls": s.calls,
-                "errors": s.errors,
-                "mean_queue_seconds": s.mean_queue_time,
-                "busy_seconds": s.busy_time,
-            }
+        # queue_stats() already carries the windowed burst peak; going
+        # through it keeps this snapshot identical for single-instance
+        # and sharded deployments (keys become instance.namespace).
+        stats = model.queue_stats()
         return cls(
             now=now,
             stores=dict(model.stores),

@@ -161,6 +161,12 @@ class RpcQueueingDetector(Detector):
     outrunning the instance's rank pool.  Clean runs queue for
     microseconds; a mean wait above threshold means the instance is
     saturated and monitors are backing up.
+
+    Prefers the *windowed* peak (``peak_window_queue_seconds``) when
+    the stats carry it: a ten-minute saturation burst inside an
+    hours-long run barely moves the lifetime mean, but the worst
+    window preserves it.  Synthetic stats without the field fall back
+    to the lifetime mean, so calibrated thresholds stay comparable.
     """
 
     name = "rpc-queueing"
@@ -168,11 +174,18 @@ class RpcQueueingDetector(Detector):
     metric_field = "rpc_mean_queue_seconds"
     metric_floor = 0.05
 
+    @staticmethod
+    def _queue_metric(stats: dict) -> float:
+        peak = stats.get("peak_window_queue_seconds")
+        if peak is not None:
+            return float(peak)
+        return float(stats["mean_queue_seconds"])
+
     def observe(self, ctx: DetectionContext) -> float:
         worst = 0.0
         for stats in ctx.server_stats.values():
             if stats.get("calls", 0):
-                worst = max(worst, float(stats["mean_queue_seconds"]))
+                worst = max(worst, self._queue_metric(stats))
         return worst
 
     def detect(
@@ -183,7 +196,7 @@ class RpcQueueingDetector(Detector):
             calls = stats.get("calls", 0)
             if not calls:
                 continue
-            mean_queue = float(stats["mean_queue_seconds"])
+            mean_queue = self._queue_metric(stats)
             if mean_queue < thresholds.rpc_mean_queue_seconds:
                 continue
             findings.append(

@@ -171,6 +171,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--calibrate)",
     )
 
+    p_fac = sub.add_parser(
+        "facility",
+        help="run the shared-facility SOMA scenario (sharded, multi-tenant)",
+        description=(
+            "Run hundreds of concurrent pilots (tenants) against one "
+            "sharded SOMA deployment and print the facility manifest: "
+            "degradation accounting (drops, gaps, stalls), per-shard "
+            "store balance, and ingest queue statistics.  --chaos arms "
+            "the canonical shard-outage + tenant-flood plan."
+        ),
+    )
+    p_fac.add_argument("--pilots", type=int, default=200)
+    p_fac.add_argument("--shards", type=int, default=4)
+    p_fac.add_argument("--service-nodes", type=int, default=4)
+    p_fac.add_argument("--tasks-per-pilot", type=int, default=500)
+    p_fac.add_argument("--concurrency", type=int, default=8)
+    p_fac.add_argument("--period", type=float, default=60.0)
+    p_fac.add_argument("--seed", type=int, default=3)
+    p_fac.add_argument(
+        "--admission-rate", type=float, default=None, metavar="TOKENS_PER_S",
+        help="per-tenant publish budget (default: no admission control)",
+    )
+    p_fac.add_argument(
+        "--degrade", choices=("drop", "summarize"), default="drop",
+        help="client behaviour for refused samples",
+    )
+    p_fac.add_argument(
+        "--chaos", action="store_true",
+        help="inject the canonical shard outage + tenant flood",
+    )
+    p_fac.add_argument(
+        "--json", action="store_true",
+        help="emit the manifest as JSON instead of rendered text",
+    )
+
     p_lint = sub.add_parser(
         "lint",
         help="run simlint (determinism/lifecycle static analysis)",
@@ -599,6 +634,37 @@ def _cmd_bottleneck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_facility(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .experiments.facility import (
+        FacilitySpec,
+        facility_chaos_plan,
+        run_facility,
+    )
+    from .sweep.artifacts import render_facility
+
+    spec = FacilitySpec(
+        pilots=args.pilots,
+        shards=args.shards,
+        service_nodes=args.service_nodes,
+        tasks_per_pilot=args.tasks_per_pilot,
+        concurrency=args.concurrency,
+        period=args.period,
+        admission_rate=args.admission_rate,
+        degrade=args.degrade,
+    )
+    plan = facility_chaos_plan(spec) if args.chaos else None
+    result = run_facility(spec, seed=args.seed, fault_plan=plan)
+    payload = result.payload()
+    if args.json:
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_facility(payload))
+    # The degradation contract is the scenario's pass condition.
+    return 0 if payload["stalled_tasks"] == 0 else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .sanitize import simlint
 
@@ -636,6 +702,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "bottleneck":
         return _cmd_bottleneck(args)
+    if args.command == "facility":
+        return _cmd_facility(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces choices

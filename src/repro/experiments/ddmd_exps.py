@@ -62,6 +62,9 @@ class DDMDExperiment:
     #: 'none' (baseline), 'shared', or 'exclusive'.
     soma_mode: str = "exclusive"
     soma_ranks_per_namespace: int = 1
+    #: 0 = the paper's single-instance deployment; N>0 shards the
+    #: service across N instances behind the consistent-hash ring.
+    soma_shards: int = 0
     monitoring_frequency: float = 60.0
     params: DDMDParams = field(default_factory=DDMDParams)
     #: Per-phase overrides applied to ``params`` (list of dicts).
@@ -82,6 +85,7 @@ class DDMDExperiment:
             namespaces=(WORKFLOW, HARDWARE),
             monitoring_frequency=self.monitoring_frequency,
             monitors=("proc", "rp"),
+            shards=self.soma_shards,
         )
 
     def params_for_phase(self, phase: int) -> DDMDParams:

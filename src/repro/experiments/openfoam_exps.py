@@ -51,6 +51,9 @@ class OpenFOAMExperiment:
     monitoring_frequency: float = 60.0
     hardware_frequency: float = 30.0
     soma_ranks_per_namespace: int = 1
+    #: 0 = the paper's single-instance deployment; N>0 shards the
+    #: service across N instances behind the consistent-hash ring.
+    soma_shards: int = 0
     params: OpenFOAMParams = field(default_factory=OpenFOAMParams)
 
     @property
@@ -64,6 +67,7 @@ class OpenFOAMExperiment:
             monitoring_frequency=self.monitoring_frequency,
             hardware_frequency=self.hardware_frequency,
             monitors=self.monitors,
+            shards=self.soma_shards,
         )
 
 

@@ -25,6 +25,8 @@ from .plan import (
     RPC_DROP,
     RPC_DUPLICATE,
     SERVICE_OUTAGE,
+    SHARD_OUTAGE,
+    TENANT_FLOOD,
     WINDOWED_KINDS,
     FaultEvent,
     FaultPlan,
@@ -51,7 +53,9 @@ __all__ = [
     "RetryExhausted",
     "RetryPolicy",
     "SERVICE_OUTAGE",
+    "SHARD_OUTAGE",
     "ServiceUnavailable",
+    "TENANT_FLOOD",
     "TRANSIENT_ERRORS",
     "WINDOWED_KINDS",
     "WorkerFault",

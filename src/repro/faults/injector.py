@@ -33,6 +33,8 @@ from .plan import (
     RPC_DROP,
     RPC_DUPLICATE,
     SERVICE_OUTAGE,
+    SHARD_OUTAGE,
+    TENANT_FLOOD,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -148,6 +150,10 @@ class FaultInjector:
         self.message_faults = MessageFaults(self.rng)
         #: (time, event) pairs in application order, for assertions.
         self.applied: list[tuple[float, FaultEvent]] = []
+        #: Per-tenant flood accounting: publishes the synthetic tenant
+        #: landed vs. ones the service refused (admission or outage).
+        self.flood_sent: dict[str, int] = {}
+        self.flood_refused: dict[str, int] = {}
         self._process = None
 
     def start(self) -> None:
@@ -194,6 +200,14 @@ class FaultInjector:
         elif event.kind == SERVICE_OUTAGE:
             for server in self._service_servers(event):
                 server.shutdown()
+        elif event.kind == SHARD_OUTAGE:
+            for server in self._shard_servers(event):
+                server.shutdown()
+        elif event.kind == TENANT_FLOOD:
+            self.env.process(
+                self._flood(event),
+                name=f"faults:{self.name}:flood:{event.seq}",
+            )
         elif event.kind == PROFILE_OUTAGE:
             self.session.profiles.set_available(False)
         self.session.tracer.record(
@@ -219,6 +233,11 @@ class FaultInjector:
         elif event.kind == SERVICE_OUTAGE:
             for server in self._service_servers(event):
                 server.restart()
+        elif event.kind == SHARD_OUTAGE:
+            for server in self._shard_servers(event):
+                server.restart()
+        # TENANT_FLOOD needs no restore action: the flood process
+        # stops itself when the window closes.
         elif event.kind == PROFILE_OUTAGE:
             self.session.profiles.set_available(True)
         self.session.tracer.record(
@@ -253,6 +272,71 @@ class FaultInjector:
         servers = [registry.try_lookup(name) for name in names]
         return [s for s in servers if s is not None]
 
+    def _shard_servers(self, event: FaultEvent):
+        """Registered servers of one shard instance.
+
+        Sharded deployments register ``<prefix>.<instance>.<namespace>``;
+        scoping by the instance segment keeps the blast radius to one
+        shard by construction.
+        """
+        registry = self.session.rpc_registry
+        prefix = f"{event.registry_prefix}.{event.shard}."
+        if event.namespaces is not None:
+            names = [f"{prefix}{ns}" for ns in event.namespaces]
+        else:
+            names = [n for n in sorted(registry.names()) if n.startswith(prefix)]
+        servers = [registry.try_lookup(name) for name in names]
+        return [s for s in servers if s is not None]
+
+    def _flood(self, event: FaultEvent) -> Generator[Event, None, None]:
+        """Synthetic-tenant overload: hammer one shard's ingest path.
+
+        A raw RPC client (tenant-stamped, no retry) publishes tiny
+        trees round-robin over the shard's namespace servers at
+        ``event.rate`` publishes/s until the window closes.  Refusals
+        (admission or outage) are expected — they're the point — so
+        they only increment counters; :class:`~repro.sim.core.Interrupt`
+        still propagates.
+        """
+        from ..conduit import Node as ConduitNode
+        from ..messaging.protocol import RPCError
+        from ..messaging.rpc import RPCClient
+
+        servers = self._shard_servers(event)
+        if not servers:
+            return
+        tenant = event.tenant or "flood"
+        client = RPCClient(
+            self.env,
+            self.session.cluster.network,
+            name=f"flood:{tenant}:{event.seq}",
+            node=None,
+            rng=self.session.stable_rng(f"faults:flood:{event.seq}"),
+            component="chaos-flood",
+            tenant=tenant,
+        )
+        deadline = self.env.now + (event.duration or 0.0)
+        period = 1.0 / event.rate
+        sent = 0
+        while self.env.now < deadline:
+            server = servers[sent % len(servers)]
+            tree = ConduitNode()
+            tree[f"FLOOD/{tenant}/seq"] = sent
+            sent += 1
+            try:
+                yield from client.call(
+                    server, "publish", body=tree, payload_bytes=tree.nbytes()
+                )
+                self.flood_sent[tenant] = self.flood_sent.get(tenant, 0) + 1
+            except RPCError:
+                self.flood_refused[tenant] = (
+                    self.flood_refused.get(tenant, 0) + 1
+                )
+            remaining = deadline - self.env.now
+            if remaining <= 0:
+                break
+            yield self.env.timeout(min(period, remaining))
+
     @staticmethod
     def _target_label(event: FaultEvent) -> str:
         if event.node is not None:
@@ -262,6 +346,13 @@ class FaultInjector:
         if event.kind == SERVICE_OUTAGE:
             scope = ",".join(event.namespaces) if event.namespaces else "*"
             return f"{event.registry_prefix}:{scope}"
+        if event.kind == SHARD_OUTAGE:
+            return f"{event.registry_prefix}:{event.shard}"
+        if event.kind == TENANT_FLOOD:
+            return (
+                f"{event.registry_prefix}:{event.shard}"
+                f"<-{event.tenant}@{event.rate:g}/s"
+            )
         if event.probability > 0:
             return f"p={event.probability:g}"
         return ""

@@ -20,6 +20,8 @@ kind                effect                                         windowed
 ``rpc_duplicate``   fraction of RPC requests delivered twice       yes
 ``service_outage``  SOMA namespace servers shut down               yes
 ``profile_outage``  RP profile store rejects reads/writes          yes
+``shard_outage``    one shard instance's servers shut down         yes
+``tenant_flood``    synthetic tenant floods a shard's ingest       yes
 ==================  =============================================  ========
 
 Windowed faults with a ``duration`` are automatically restored when the
@@ -29,6 +31,7 @@ servers restarted, store re-enabled).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -43,6 +46,8 @@ __all__ = [
     "RPC_DUPLICATE",
     "SERVICE_OUTAGE",
     "PROFILE_OUTAGE",
+    "SHARD_OUTAGE",
+    "TENANT_FLOOD",
     "FAULT_KINDS",
     "WINDOWED_KINDS",
 ]
@@ -55,6 +60,8 @@ RPC_DELAY = "rpc_delay"
 RPC_DUPLICATE = "rpc_duplicate"
 SERVICE_OUTAGE = "service_outage"
 PROFILE_OUTAGE = "profile_outage"
+SHARD_OUTAGE = "shard_outage"
+TENANT_FLOOD = "tenant_flood"
 
 FAULT_KINDS: tuple[str, ...] = (
     NODE_CRASH,
@@ -65,6 +72,8 @@ FAULT_KINDS: tuple[str, ...] = (
     RPC_DUPLICATE,
     SERVICE_OUTAGE,
     PROFILE_OUTAGE,
+    SHARD_OUTAGE,
+    TENANT_FLOOD,
 )
 
 #: Kinds that can carry a duration and are restored at window close.
@@ -96,6 +105,13 @@ class FaultEvent:
     namespaces: tuple[str, ...] | None = None
     #: Registry prefix of the service to take down.
     registry_prefix: str = "soma"
+    #: Target shard instance (e.g. "s01") for shard_outage / the shard
+    #: a tenant_flood aims its publishes at.
+    shard: str | None = None
+    #: Synthetic tenant name used by tenant_flood publishes.
+    tenant: str | None = None
+    #: Flood intensity, publishes per second per namespace.
+    rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -119,6 +135,17 @@ class FaultEvent:
                 raise ValueError("partition needs a (rack_a, rack_b) pair")
             if self.racks[0] == self.racks[1]:
                 raise ValueError("partition racks must differ")
+        if self.kind == SHARD_OUTAGE and self.shard is None:
+            raise ValueError("shard_outage needs a target shard instance")
+        if self.kind == TENANT_FLOOD:
+            if self.shard is None:
+                raise ValueError("tenant_flood needs a target shard instance")
+            if self.tenant is None:
+                raise ValueError("tenant_flood needs a tenant name")
+            if self.rate <= 0:
+                raise ValueError("tenant_flood needs a positive rate")
+            if self.duration is None or not math.isfinite(self.duration):
+                raise ValueError("tenant_flood needs a finite duration")
 
 
 class FaultPlan:
@@ -229,6 +256,55 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Make the RP profile store reject reads/writes for a window."""
         return self._add(time=at, kind=PROFILE_OUTAGE, duration=duration)
+
+    def shard_outage(
+        self,
+        at: float,
+        shard: str,
+        duration: float | None = None,
+        namespaces: "tuple[str, ...] | None" = None,
+        registry_prefix: str = "soma",
+    ) -> "FaultPlan":
+        """Shut one shard instance's namespace servers down.
+
+        The facility degradation contract says the blast radius stays
+        inside the shard: tenants routed elsewhere keep publishing,
+        tenants on ``shard`` degrade (drop + gap) and recover when the
+        window closes.
+        """
+        return self._add(
+            time=at,
+            kind=SHARD_OUTAGE,
+            shard=shard,
+            duration=duration,
+            namespaces=tuple(namespaces) if namespaces is not None else None,
+            registry_prefix=registry_prefix,
+        )
+
+    def tenant_flood(
+        self,
+        at: float,
+        shard: str,
+        tenant: str,
+        rate: float,
+        duration: float,
+        namespaces: "tuple[str, ...] | None" = None,
+        registry_prefix: str = "soma",
+    ) -> "FaultPlan":
+        """Flood ``shard`` with ``rate`` publishes/s from a synthetic
+        ``tenant`` for ``duration`` seconds (admission-control chaos:
+        the flooding tenant should be throttled, co-resident tenants
+        should keep their budgets)."""
+        return self._add(
+            time=at,
+            kind=TENANT_FLOOD,
+            shard=shard,
+            tenant=tenant,
+            rate=rate,
+            duration=duration,
+            namespaces=tuple(namespaces) if namespaces is not None else None,
+            registry_prefix=registry_prefix,
+        )
 
     # -- access -------------------------------------------------------
 

@@ -1,6 +1,7 @@
 """Communication substrates: ZeroMQ-style queues and Mochi-style RPC."""
 
 from .protocol import (
+    AdmissionRejected,
     Message,
     RPCError,
     RPCRequest,
@@ -12,6 +13,7 @@ from .queues import ComponentQueue, QueueRegistry
 from .rpc import RPCClient, RPCRegistry, RPCServer, ServerStats
 
 __all__ = [
+    "AdmissionRejected",
     "ComponentQueue",
     "Message",
     "QueueRegistry",

@@ -13,6 +13,7 @@ __all__ = [
     "RPCError",
     "RPCTimeout",
     "ServiceUnavailable",
+    "AdmissionRejected",
 ]
 
 _msg_ids = itertools.count()
@@ -44,6 +45,9 @@ class RPCRequest:
     uid: int = field(default_factory=lambda: next(_msg_ids))
     #: Telemetry baggage (a SpanContext); see :class:`Message`.
     ctx: Any = None
+    #: Tenant the calling client acts for; admission control keys its
+    #: per-tenant token buckets on this.
+    tenant: str = "default"
 
 
 @dataclass(slots=True)
@@ -77,4 +81,15 @@ class ServiceUnavailable(RPCError):
     Transient: the service may come back, so retry policies treat it
     as retriable.  Also used for the RP profile store while its backing
     file system is injected as unavailable.
+    """
+
+
+class AdmissionRejected(RPCError):
+    """The server refused the call before queueing it (backpressure).
+
+    Deliberately *not* transient: retrying an over-budget tenant's
+    publish immediately would defeat the admission controller, so
+    retry policies surface the rejection at once and the client's
+    degradation path (drop or summarize the sample, record a gap)
+    takes over.  The next monitoring period gets a fresh token draw.
     """

@@ -27,6 +27,7 @@ from ..sim.resources import Resource
 from ..platform.network import Network
 from ..platform.node import Node, NodeFailure
 from .protocol import (
+    AdmissionRejected,
     RPCError,
     RPCRequest,
     RPCResponse,
@@ -48,22 +49,132 @@ DEFAULT_PER_BYTE_SERVICE_TIME = 2e-9
 #: Size of a response envelope in bytes.
 RESPONSE_BYTES = 256.0
 
+#: Default accounting-window length for :class:`ServerStats`, seconds.
+DEFAULT_STATS_WINDOW = 60.0
+
 
 class ServerStats:
-    """Aggregate accounting for one RPC server."""
+    """Aggregate + windowed accounting for one RPC server.
 
-    __slots__ = ("calls", "bytes", "busy_time", "queue_time", "errors")
+    Lifetime counters (``calls``/``bytes``/``busy_time``/``queue_time``)
+    answer "how much work did this server do overall"; the *windowed*
+    accounting answers "how bad did its worst burst get".  A long run
+    dilutes a lifetime mean — ten minutes of saturation disappear into
+    hours of idle publishing — so detectors that look for queueing
+    bursts read :attr:`peak_window_queue_time` instead: the largest
+    per-window mean queue wait over fixed ``window_seconds`` windows.
 
-    def __init__(self) -> None:
+    Window rolling is pure host-side arithmetic driven by the call
+    completions themselves (no kernel events), so arming it never
+    perturbs a run.
+    """
+
+    __slots__ = (
+        "calls",
+        "bytes",
+        "busy_time",
+        "queue_time",
+        "errors",
+        "rejections",
+        "window_seconds",
+        "windows_closed",
+        "peak_window_queue_time",
+        "peak_window_calls",
+        "_window_start",
+        "_window_calls",
+        "_window_queue_time",
+    )
+
+    def __init__(self, window_seconds: float = DEFAULT_STATS_WINDOW) -> None:
         self.calls = 0
         self.bytes = 0.0
         self.busy_time = 0.0
         self.queue_time = 0.0
         self.errors = 0
+        #: Calls refused by the admission gate before queueing.
+        self.rejections = 0
+        self.window_seconds = window_seconds
+        #: Windows finalized so far (only windows that saw calls).
+        self.windows_closed = 0
+        #: Worst per-window mean queue wait seen so far.
+        self.peak_window_queue_time = 0.0
+        #: Calls in the busiest window (by call count).
+        self.peak_window_calls = 0
+        self._window_start: float | None = None
+        self._window_calls = 0
+        self._window_queue_time = 0.0
 
     @property
     def mean_queue_time(self) -> float:
         return self.queue_time / self.calls if self.calls else 0.0
+
+    @property
+    def worst_window_queue_time(self) -> float:
+        """Peak windowed mean queue wait, including the open window.
+
+        Zero-call-safe: a server that never served a call reports 0.
+        """
+        current = (
+            self._window_queue_time / self._window_calls
+            if self._window_calls
+            else 0.0
+        )
+        return max(self.peak_window_queue_time, current)
+
+    def note_call(
+        self, now: float, queue_time: float, busy_time: float, nbytes: float
+    ) -> None:
+        """Fold one served call into lifetime + windowed accounting."""
+        self.calls += 1
+        self.bytes += nbytes
+        self.busy_time += busy_time
+        self.queue_time += queue_time
+        if self._window_start is None:
+            self._window_start = now
+        elif now - self._window_start >= self.window_seconds:
+            self._close_window()
+            # Realign on the fixed grid anchored at the first call, so
+            # two identical runs roll windows at identical instants.
+            elapsed = now - self._window_start
+            self._window_start += self.window_seconds * (
+                elapsed // self.window_seconds
+            )
+        self._window_calls += 1
+        self._window_queue_time += queue_time
+
+    def _close_window(self) -> None:
+        if not self._window_calls:
+            return
+        mean = self._window_queue_time / self._window_calls
+        self.peak_window_queue_time = max(self.peak_window_queue_time, mean)
+        self.peak_window_calls = max(self.peak_window_calls, self._window_calls)
+        self.windows_closed += 1
+        self._window_calls = 0
+        self._window_queue_time = 0.0
+
+    # -- snapshot/interval accounting --------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of the lifetime counters (for deltas)."""
+        return {
+            "calls": self.calls,
+            "bytes": self.bytes,
+            "busy_time": self.busy_time,
+            "queue_time": self.queue_time,
+            "errors": self.errors,
+            "rejections": self.rejections,
+        }
+
+    @staticmethod
+    def interval(before: dict, after: dict) -> dict:
+        """Deltas between two snapshots, with zero-call-safe means."""
+        delta = {key: after[key] - before[key] for key in after}
+        calls = delta["calls"]
+        delta["mean_queue_time"] = (
+            delta["queue_time"] / calls if calls else 0.0
+        )
+        delta["mean_busy_time"] = delta["busy_time"] / calls if calls else 0.0
+        return delta
 
 
 class RPCServer:
@@ -90,6 +201,7 @@ class RPCServer:
         base_service_time: float = DEFAULT_BASE_SERVICE_TIME,
         per_byte_service_time: float = DEFAULT_PER_BYTE_SERVICE_TIME,
         component: str = "rpc-server",
+        admission: "Callable[[RPCRequest], bool] | None" = None,
     ) -> None:
         if ranks <= 0:
             raise ValueError("server needs at least one rank")
@@ -107,6 +219,12 @@ class RPCServer:
         self._handlers: dict[str, Callable[[RPCRequest], Any]] = {}
         self.stats = ServerStats()
         self.alive = True
+        #: Optional admission gate consulted *before* a request queues
+        #: for a rank.  Returning False rejects the call with
+        #: :class:`AdmissionRejected` at wire-RTT cost — the request
+        #: never holds a worker slot and never charges service time, so
+        #: backpressure stays cheap for the server under overload.
+        self.admission = admission
 
     def register(self, method: str, handler: Callable[[RPCRequest], Any]) -> None:
         """Expose ``handler`` under ``method``."""
@@ -164,6 +282,12 @@ class RPCServer:
             # Arrived after a shutdown (in-flight during an outage).
             self.stats.errors += 1
             raise ServiceUnavailable(f"server {self.name} is shut down")
+        if self.admission is not None and not self.admission(request):
+            self.stats.rejections += 1
+            raise AdmissionRejected(
+                f"server {self.name} rejected {request.method!r} "
+                f"from tenant {request.tenant!r} (over budget)"
+            )
         arrival = self.env.now
         with self._workers.request() as slot:
             yield slot
@@ -212,10 +336,9 @@ class RPCServer:
                 ok = False
                 self.stats.errors += 1
             elapsed = self.env.now - start
-            self.stats.calls += 1
-            self.stats.bytes += request.payload_bytes
-            self.stats.busy_time += elapsed
-            self.stats.queue_time += queue_time
+            self.stats.note_call(
+                self.env.now, queue_time, elapsed, request.payload_bytes
+            )
             return RPCResponse(
                 request_uid=request.uid,
                 ok=ok,
@@ -244,11 +367,15 @@ class RPCClient:
         serialize_cost_per_byte: float = 1e-9,
         rng: "np.random.Generator | None" = None,
         component: str = "rpc-client",
+        tenant: str = "default",
     ) -> None:
         self.env = env
         self.network = network
         self.name = name
         self.node = node
+        #: Tenant stamped on every outgoing request; server-side
+        #: admission control budgets per tenant.
+        self.tenant = tenant
         #: Telemetry track this client's attempt spans appear on.
         self.component = component
         self.serialize_cost_per_byte = serialize_cost_per_byte
@@ -369,6 +496,7 @@ class RPCClient:
             body=body,
             client=self.name,
             sent_at=start,
+            tenant=self.tenant,
         )
         if span is not None:
             request.ctx = span.context
@@ -407,6 +535,7 @@ class RPCClient:
                 client=self.name,
                 sent_at=start,
                 ctx=request.ctx,
+                tenant=self.tenant,
             )
             self.env.process(
                 _swallow(server._serve(duplicate)),

@@ -53,12 +53,8 @@ class HardwareMonitorModel(ServiceModel):
         env = ctx.env
         node = ctx.placements[0].node
         period = self.config.effective_hardware_frequency
-        self.client = SomaClient(
-            self.session,
-            name=f"hwmon@{node.name}",
-            node=node,
-            registry_prefix=self.config.registry_prefix,
-            retry=self.config.retry,
+        self.client = self.config.make_client(
+            self.session, name=f"hwmon@{node.name}", node=node
         )
         procfs = self.session.cluster.procfs(node)
         prev = None

@@ -20,7 +20,6 @@ from typing import TYPE_CHECKING
 
 from ..conduit import Node as ConduitNode
 from ..rp.model import ExecutionContext, RankProfile, TaskModel, TaskResult
-from ..soma.client import SomaClient
 from ..soma.namespaces import PERFORMANCE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -81,12 +80,8 @@ class TAUWrappedModel(TaskModel):
         # the client stub needs no resources of its own (Sec 2.2.1),
         # so no node is attached (no extra jitter charged).
         if result.rank_profiles:
-            client = SomaClient(
-                self.session,
-                name=f"tau@{ctx.task.uid}",
-                node=None,
-                registry_prefix=self.config.registry_prefix,
-                retry=self.config.retry,
+            client = self.config.make_client(
+                self.session, name=f"tau@{ctx.task.uid}", node=None
             )
             tree = profiles_to_conduit(ctx.task.uid, result.rank_profiles)
             ok = yield from client.publish(PERFORMANCE, tree)

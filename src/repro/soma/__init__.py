@@ -32,23 +32,41 @@ from .namespaces import (
     WORKFLOW,
     namespace_root,
 )
-from .service import SomaConfig, SomaServiceModel, soma_service_description
+from .service import (
+    ShardedSomaServiceModel,
+    SomaConfig,
+    SomaServiceModel,
+    soma_service_description,
+)
+from .sharding import (
+    AdmissionController,
+    HashRing,
+    ShardRouter,
+    TokenBucket,
+    shard_key,
+)
 from .storage import NamespaceStore, PublishedRecord
 
 __all__ = [
     "ALL_NAMESPACES",
     "APPLICATION",
+    "AdmissionController",
     "ApplicationMetrics",
     "InstrumentedModel",
     "figure_of_merit_series",
     "HARDWARE",
+    "HashRing",
     "NamespaceStore",
     "PERFORMANCE",
     "PublishedRecord",
+    "ShardRouter",
+    "ShardedSomaServiceModel",
     "SomaClient",
     "SomaConfig",
     "SomaDeployment",
     "SomaServiceModel",
+    "TokenBucket",
+    "shard_key",
     "UtilizationPoint",
     "WORKFLOW",
     "cpu_utilization_series",

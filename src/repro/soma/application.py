@@ -64,16 +64,24 @@ class ApplicationMetrics:
         task_uid: str,
         registry_prefix: str = "soma",
         retry: "RetryPolicy | None" = None,
+        config: "SomaConfig | None" = None,
     ) -> None:
         self.session = session
         self.task_uid = task_uid
-        self._client = SomaClient(
-            session,
-            name=f"app@{task_uid}",
-            node=None,
-            registry_prefix=registry_prefix,
-            retry=retry,
-        )
+        if config is not None:
+            # Deployment-aware path: inherits sharding routing and
+            # tenancy from the config.
+            self._client = config.make_client(
+                session, name=f"app@{task_uid}", node=None
+            )
+        else:
+            self._client = SomaClient(
+                session,
+                name=f"app@{task_uid}",
+                node=None,
+                registry_prefix=registry_prefix,
+                retry=retry,
+            )
         self._pending: list[MetricSample] = []
         self.published_samples = 0
         self._seq = 0
@@ -137,8 +145,7 @@ class InstrumentedModel(TaskModel):
         metrics = ApplicationMetrics(
             self.session,
             ctx.task.uid,
-            registry_prefix=self.config.registry_prefix,
-            retry=self.config.retry,
+            config=self.config,
         )
         ctx.task.description.metadata["app_metrics"] = metrics
         start = ctx.env.now

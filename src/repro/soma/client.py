@@ -25,8 +25,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..conduit import Node as ConduitNode
+from ..messaging.protocol import AdmissionRejected
 from ..messaging.rpc import RPCClient, RPCError, RPCServer
 from ..sim.core import Event
+from .sharding import ShardRouter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.retry import RetryPolicy
@@ -46,7 +48,12 @@ class SomaClient:
         node: "Node | None" = None,
         registry_prefix: str = "soma",
         retry: "RetryPolicy | None" = None,
+        tenant: str = "default",
+        router: ShardRouter | None = None,
+        degrade: str = "drop",
     ) -> None:
+        if degrade not in ("drop", "summarize"):
+            raise ValueError(f"unknown degrade mode {degrade!r}")
         self.session = session
         self.env = session.env
         self.name = name
@@ -54,6 +61,19 @@ class SomaClient:
         self.registry_prefix = registry_prefix
         #: Policy applied to every publish/query RPC (None = single shot).
         self.retry = retry
+        #: Tenant stamped on every RPC; the facility's admission
+        #: controllers budget per tenant.
+        self.tenant = tenant
+        #: Shard routing; None routes to the classic per-namespace name.
+        self.router = (
+            router
+            if router is not None
+            else ShardRouter(registry_prefix=registry_prefix)
+        )
+        #: What to do with a sample the service refuses under
+        #: backpressure: "drop" forgets it, "summarize" folds cumulative
+        #: counts of the refused data into the next accepted publish.
+        self.degrade = degrade
         self._rpc = RPCClient(
             session.env,
             session.cluster.network,
@@ -61,26 +81,38 @@ class SomaClient:
             node=node,
             rng=session.stable_rng(f"rpc:{name}"),
             component="soma-client",
+            tenant=tenant,
         )
         self._servers: dict[str, RPCServer] = {}
         self.published = 0
         self.publish_failures = 0
         #: Samples dropped after retries were exhausted.
         self.dropped = 0
+        #: Samples the service refused at admission (backpressure).
+        self.rejected = 0
         #: Completed observability gaps (drop ... next success).
         self.gaps = 0
         self.gap_seconds = 0.0
         self._gap_since: dict[str, float] = {}
+        #: Per-namespace cumulative summary of refused samples
+        #: (samples/bytes), published under SOMA/degraded/ in
+        #: "summarize" mode.
+        self._degraded: dict[str, dict[str, float]] = {}
 
     # -- connection ---------------------------------------------------------
 
     def connect(self, namespace: str) -> Generator[Event, None, RPCServer]:
-        """Resolve (and wait for) the namespace instance's address."""
+        """Resolve (and wait for) the owning instance's address.
+
+        Sharded deployments route ``(tenant, namespace)`` through the
+        consistent-hash ring to one instance; unsharded ones keep the
+        paper's one-server-per-namespace names.
+        """
         server = self._servers.get(namespace)
         if server is not None:
             return server
         server = yield from self.session.rpc_registry.lookup(
-            f"{self.registry_prefix}.{namespace}"
+            self.router.registry_name(self.tenant, namespace)
         )
         self._servers[namespace] = server
         return server
@@ -113,6 +145,29 @@ class SomaClient:
                     payload_bytes=nbytes,
                     retry=self.retry,
                 )
+            except AdmissionRejected:
+                # Backpressure, not an outage: the service is up but
+                # refuses this tenant's sample.  Degrade immediately —
+                # never re-send, never stall the host task.
+                self.publish_failures += 1
+                self.rejected += 1
+                self.dropped += 1
+                self._gap_since.setdefault(namespace, self.env.now)
+                if self.degrade == "summarize":
+                    summary = self._degraded.setdefault(
+                        namespace, {"samples": 0, "bytes": 0.0}
+                    )
+                    summary["samples"] += 1
+                    summary["bytes"] += nbytes
+                if span is not None:
+                    span.attributes["rejected"] = True
+                self.session.tracer.record(
+                    "soma.publish_rejected",
+                    namespace,
+                    source=self.name,
+                    tenant=self.tenant,
+                )
+                return False
             except RPCError as exc:
                 self.publish_failures += 1
                 self.dropped += 1
@@ -177,6 +232,15 @@ class SomaClient:
         data[f"{prefix}/dropped"] = self.dropped
         data[f"{prefix}/retries"] = self._rpc.retries
         data[f"{prefix}/gap_seconds"] = self.gap_seconds
+        if self.degrade == "summarize" and self._degraded:
+            # Cumulative summaries of refused samples, so the gap's
+            # *content* (how much data was shed, not just for how long)
+            # survives in the monitoring record itself.
+            for namespace in sorted(self._degraded):
+                summary = self._degraded[namespace]
+                base = f"SOMA/degraded/{self.name}/{namespace}"
+                data[f"{base}/samples"] = int(summary["samples"])
+                data[f"{base}/bytes"] = summary["bytes"]
 
     @property
     def retries(self) -> int:

@@ -98,11 +98,19 @@ class NamespaceStore:
         return set(self._by_source)
 
     def merged(
-        self, since: float | None = None, until: float | None = None
+        self,
+        source: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
     ) -> Node:
-        """One Conduit tree merging every stored publish in range."""
+        """One Conduit tree merging stored publishes in range.
+
+        ``source`` narrows the merge to one publisher via the
+        per-source index, so inspecting a single monitor no longer
+        pays for merging the whole namespace.
+        """
         root = Node()
-        for record in self.records(since=since, until=until):
+        for record in self.records(source=source, since=since, until=until):
             root.update(record.data)
         return root
 

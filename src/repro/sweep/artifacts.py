@@ -54,6 +54,7 @@ __all__ = [
     "render_ablation_rank_tuning",
     "render_ablation_placement",
     "render_ablation_detection",
+    "render_facility",
 ]
 
 #: Fig 11 configurations, in presentation order.
@@ -538,6 +539,40 @@ def render_ablation_detection(payloads: dict[str, dict]) -> str:
     )
 
 
+def render_facility(payload: dict) -> str:
+    """The facility manifest: degradation contract + shard balance."""
+    spec_line = (
+        f"{payload['pilots']} pilots x {payload['tasks_per_pilot']} tasks "
+        f"over {payload['shards']} shards (seed {payload['seed']})"
+    )
+    rows = [
+        ["task samples generated", str(payload["samples_generated"])],
+        ["task samples published", str(payload["samples_published"])],
+        ["stalled tasks", str(payload["stalled_tasks"])],
+        ["publishes ok / failed", (
+            f"{payload['publishes_ok']} / {payload['publishes_failed']}"
+        )],
+        ["client drops", str(payload["client_drops"])],
+        ["observability gaps", str(payload["gaps"])],
+        ["gap seconds", f"{payload['gap_seconds']:.1f}"],
+        ["faults applied", str(payload["faults_applied"])],
+        ["makespan (s)", f"{payload['makespan']:.1f}"],
+    ]
+    shard_rows = [
+        [name, str(records)]
+        for name, records in sorted(payload["store_records"].items())
+    ]
+    return (
+        render_table(["metric", "value"], rows, title=f"Facility: {spec_line}")
+        + "\n"
+        + render_table(
+            ["shard store", "records"],
+            shard_rows,
+            title="Per-shard store occupancy (consistent-hash balance)",
+        )
+    )
+
+
 # -- the default matrix ------------------------------------------------
 
 
@@ -656,6 +691,24 @@ def default_matrix(
                 params={"which": "detection", "adaptive": adaptive},
             )
         )
+    cells.append(
+        CellSpec(
+            key="facility-smoke",
+            family="facility",
+            seed=3,
+            params={
+                "spec": {
+                    "pilots": 24,
+                    "shards": 2,
+                    "service_nodes": 2,
+                    "tasks_per_pilot": 60,
+                    "concurrency": 4,
+                    "admission_rate": 0.5,
+                },
+                "chaos": True,
+            },
+        )
+    )
 
     scaling_b_cells = tuple(
         scaling_b_key(p, mode, frequent)
@@ -747,6 +800,11 @@ def default_matrix(
                 "ablation_detection",
                 ("ablation-detection-adaptive", "ablation-detection-static"),
                 render_ablation_detection,
+            ),
+            Artifact(
+                "facility",
+                ("facility-smoke",),
+                lambda p: render_facility(p["facility-smoke"]),
             ),
         )
     }

@@ -241,6 +241,30 @@ def ddmd_cell(params: dict, seed: int) -> dict:
     return collect_ddmd(result, experiment)
 
 
+@register_cell_family("facility")
+def facility_cell(params: dict, seed: int) -> dict:
+    """``{"spec": {FacilitySpec overrides}, "chaos": bool}``.
+
+    Runs the shared-facility scenario (hundreds of tenants against one
+    sharded SOMA deployment); ``chaos`` arms the canonical shard-outage
+    + tenant-flood plan.
+    """
+    from ..experiments.facility import (
+        FacilitySpec,
+        facility_chaos_plan,
+        run_facility,
+    )
+
+    overrides = dict(params.get("spec") or {})
+    for key in ("workload_mix", "namespaces"):
+        if key in overrides:
+            overrides[key] = tuple(overrides[key])
+    spec = FacilitySpec(**overrides)
+    plan = facility_chaos_plan(spec) if params.get("chaos") else None
+    result = run_facility(spec, seed=seed, fault_plan=plan)
+    return jsonable(result.payload())
+
+
 @register_cell_family("ablation")
 def ablation_cell(params: dict, seed: int) -> dict:
     """``{"which": "rank_tuning"|"placement"|"detection", "adaptive": bool}``."""

@@ -158,6 +158,21 @@ class TestRpcQueueingDetector:
         assert self.detector.detect(ctx, DEFAULT_THRESHOLDS) == []
         assert self.detector.observe(ctx) == 0.0
 
+    def test_prefers_windowed_peak_over_diluted_mean(self):
+        # A ten-minute burst diluted into a long run: lifetime mean
+        # looks clean but the windowed peak carries the saturation.
+        burst = dict(
+            self.stats(0.005), peak_window_queue_seconds=2.0
+        )
+        ctx = make_ctx(server_stats={"hardware": burst})
+        findings = self.detector.detect(ctx, DEFAULT_THRESHOLDS)
+        assert [f.where for f in findings] == ["soma.hardware"]
+        assert self.detector.observe(ctx) == pytest.approx(2.0)
+        # Without the windowed field the diluted mean stays quiet —
+        # exactly the blind spot the windowed ServerStats closes.
+        ctx = make_ctx(server_stats={"hardware": self.stats(0.005)})
+        assert self.detector.detect(ctx, DEFAULT_THRESHOLDS) == []
+
 
 class TestLoadImbalanceDetector:
     detector = LoadImbalanceDetector()

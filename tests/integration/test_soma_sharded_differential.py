@@ -1,0 +1,115 @@
+"""Sharded-vs-single SOMA differential (ISSUE 9 tentpole proof).
+
+The facility service only counts as landed if sharding is *behaviorally
+invisible* to a single tenant: for the same seed, the same workload
+monitored through a 2-shard deployment must yield byte-identical
+namespace stores (times, sources, byte counts, canonical payload JSON)
+and byte-identical trace streams, compared to the paper's
+single-instance baseline.
+
+The pairing that makes this an apples-to-apples comparison:
+
+* baseline ``ranks_per_namespace=2, shards=0`` vs sharded
+  ``ranks_per_namespace=1, shards=2`` — the SOMA service *task* has
+  the same total rank count either way, so its launch cost
+  (``launch_per_rank_cost × ranks``) and placement are identical and
+  the deployment timeline does not shift;
+* admission control disabled (``admission_rate=None``), per the ISSUE:
+  the differential pins the routing/serving path, not backpressure;
+* the only trace records excluded are category ``soma.instance`` —
+  the sharded bring-up's own placement announcements, which have no
+  single-instance counterpart by construction.  Everything else,
+  including every publish/gap/task record, must match exactly.
+
+Runs the real OpenFOAM and DDMD generators (reduced sizes) across
+seeds 3/17/33.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.ddmd_exps import run_ddmd_experiment, tuning_experiment
+from repro.experiments.openfoam_exps import (
+    OpenFOAMExperiment,
+    run_openfoam_experiment,
+)
+from repro.soma.service import ShardedSomaServiceModel
+
+SEEDS = (3, 17, 33)
+
+OPENFOAM_BASE = OpenFOAMExperiment(
+    name="differential",
+    instances_per_config=1,
+    compute_nodes=2,
+    rank_configs=(20, 41),
+    soma_ranks_per_namespace=2,
+)
+OPENFOAM_SHARDED = replace(
+    OPENFOAM_BASE, soma_ranks_per_namespace=1, soma_shards=2
+)
+
+DDMD_BASE = tuning_experiment().with_updates(
+    name="differential", phases=2, soma_ranks_per_namespace=2
+)
+DDMD_SHARDED = DDMD_BASE.with_updates(
+    soma_ranks_per_namespace=1, soma_shards=2
+)
+
+
+def store_signature(result) -> str:
+    """Canonical bytes of every namespace's full record stream."""
+    lines = []
+    for namespace in result.deployment.config.namespaces:
+        store = result.deployment.store(namespace)
+        for rec in store.records():
+            lines.append(
+                f"{namespace}|{rec.time!r}|{rec.source}"
+                f"|{rec.nbytes!r}|{rec.data.to_json()}"
+            )
+    return "\n".join(lines)
+
+
+def trace_signature(session) -> str:
+    """Canonical bytes of the trace stream, minus shard bring-up."""
+    return "\n".join(
+        f"{rec.time!r}|{rec.category}|{rec.name}|{sorted(rec.data.items())!r}"
+        for rec in session.tracer.records
+        if rec.category != "soma.instance"
+    )
+
+
+def assert_differential(baseline, sharded) -> None:
+    model = sharded.deployment.service_model
+    assert isinstance(model, ShardedSomaServiceModel)
+    # Non-vacuous: the default tenant's namespaces really spread over
+    # both instances, and every serving store is instance-qualified.
+    owners = {
+        model.ring.owner(f"default/{ns}")
+        for ns in sharded.deployment.config.namespaces
+    }
+    assert len(owners) == 2
+    stats = model.queue_stats()
+    assert all("." in name for name in stats)
+    assert sum(s["calls"] for s in stats.values()) > 0
+    # The headline: byte-identical stores and traces.
+    assert store_signature(baseline) == store_signature(sharded)
+    assert trace_signature(baseline.session) == trace_signature(
+        sharded.session
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_openfoam_sharded_matches_single(seed):
+    baseline = run_openfoam_experiment(OPENFOAM_BASE, seed=seed)
+    sharded = run_openfoam_experiment(OPENFOAM_SHARDED, seed=seed)
+    assert_differential(baseline, sharded)
+    assert baseline.makespan == sharded.makespan
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ddmd_sharded_matches_single(seed):
+    baseline = run_ddmd_experiment(DDMD_BASE, seed=seed)
+    sharded = run_ddmd_experiment(DDMD_SHARDED, seed=seed)
+    assert_differential(baseline, sharded)
+    assert baseline.makespan == sharded.makespan

@@ -173,3 +173,104 @@ class TestServiceDeployment:
         assert not deployment.enabled
         with pytest.raises(RuntimeError):
             deployment.store(HARDWARE)
+
+
+class TestShardedService:
+    """The facility deployment path: bring_up on raw nodes, no pilot."""
+
+    def make_stack(self, shards=2, **config_kwargs):
+        from repro.soma import ShardedSomaServiceModel
+
+        session = Session(cluster_spec=summit_like(2, name="fac"), seed=5)
+        config = SomaConfig(
+            namespaces=(WORKFLOW, HARDWARE),
+            monitors=(),
+            shards=shards,
+            **config_kwargs,
+        )
+        model = ShardedSomaServiceModel(session, config)
+        model.bring_up(
+            list(session.cluster.nodes[:2]), session.cluster.network
+        )
+        return session, config, model
+
+    def test_requires_sharded_config(self):
+        from repro.soma import ShardedSomaServiceModel
+
+        session = Session(cluster_spec=summit_like(2))
+        with pytest.raises(ValueError):
+            ShardedSomaServiceModel(session, SomaConfig(monitors=()))
+
+    def test_bring_up_registers_instance_qualified_names(self):
+        session, config, model = self.make_stack()
+        for instance in config.instance_names:
+            for namespace in config.namespaces:
+                name = f"soma.{instance}.{namespace}"
+                assert session.rpc_registry.try_lookup(name) is not None
+        # Classic unqualified names must NOT exist: a stale unsharded
+        # client would otherwise silently talk past the ring.
+        assert session.rpc_registry.try_lookup("soma.workflow") is None
+
+    def test_instances_on_distinct_nodes(self):
+        session, config, model = self.make_stack()
+        hosts = {
+            server.node.name
+            for server in model.servers.values()
+        }
+        assert len(hosts) == 2
+
+    def test_store_routes_through_the_ring(self):
+        session, config, model = self.make_stack()
+        ring = model.ring
+        for namespace in config.namespaces:
+            owner = ring.owner(f"default/{namespace}")
+            assert (
+                model.store(namespace)
+                is model.stores[f"{owner}.{namespace}"]
+            )
+        assert len(model.stores_for(WORKFLOW)) == 2
+
+    def test_publish_lands_in_owning_shard_only(self):
+        session, config, model = self.make_stack()
+        env = session.env
+
+        def proc(env):
+            soma = config.make_client(session, "t-client", tenant="acme")
+            data = Node()
+            data["RP/x"] = 1
+            ok = yield from soma.publish(WORKFLOW, data)
+            assert ok
+
+        env.run(env.process(proc(env)))
+        owner = model.ring.owner("acme/workflow")
+        assert len(model.store(WORKFLOW, tenant="acme")) == 1
+        for key, store in model.stores.items():
+            expected = 1 if key == f"{owner}.workflow" else 0
+            assert len(store) == expected
+
+    def test_summarize_degrade_annotates_next_publish(self):
+        session, config, model = self.make_stack(
+            admission_rate=0.1, admission_burst=1.0
+        )
+        env = session.env
+
+        def proc(env):
+            soma = config.make_client(session, "deg-client", tenant="t0")
+            soma.degrade = "summarize"
+            data = Node()
+            data["RP/x"] = 1
+            first = yield from soma.publish(WORKFLOW, data)
+            # Burst depth 1: the immediate second publish is rejected
+            # and degrades to a summarized drop.
+            second = yield from soma.publish(WORKFLOW, data)
+            yield env.timeout(60.0)  # budget refills
+            third = yield from soma.publish(WORKFLOW, data)
+            return first, second, third, soma
+
+        first, second, third, soma = env.run(env.process(proc(env)))
+        assert (first, second, third) == (True, False, True)
+        assert soma.rejected == 1 and soma.gaps == 1
+        latest = model.store(WORKFLOW, tenant="t0").latest()
+        prefix = "SOMA/degraded/deg-client/workflow"
+        assert latest.data[f"{prefix}/samples"] == 1
+        assert latest.data[f"{prefix}/bytes"] > 0

@@ -58,6 +58,16 @@ def test_merged(store):
     assert merged["b"] == 2
 
 
+def test_merged_source_filter(store):
+    only_cn1 = store.merged(source="hwmon@cn0001")
+    assert only_cn1["a"] == 3
+    assert "b" not in only_cn1  # cn0002's publish excluded
+    # Composes with the time window: cn0001's later publish drops out.
+    early = store.merged(source="hwmon@cn0001", until=1.5)
+    assert early["a"] == 1
+    assert store.merged(source="ghost").is_empty
+
+
 def test_out_of_order_insert_keeps_time_order():
     s = NamespaceStore("x")
     s.append(5.0, "a", tree(v=1))

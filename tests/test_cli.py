@@ -52,6 +52,70 @@ def test_scaling_small(capsys):
     assert "vs baseline" in out
 
 
+def test_facility_smoke(capsys):
+    assert (
+        main(
+            [
+                "facility",
+                "--pilots",
+                "8",
+                "--shards",
+                "2",
+                "--service-nodes",
+                "2",
+                "--tasks-per-pilot",
+                "40",
+                "--concurrency",
+                "4",
+                "--period",
+                "30",
+                "--seed",
+                "3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "stalled tasks" in out
+    assert "task samples generated" in out
+    assert "Per-shard store occupancy" in out
+
+
+def test_facility_json_with_chaos(capsys):
+    import json
+
+    assert (
+        main(
+            [
+                "facility",
+                "--pilots",
+                "8",
+                "--shards",
+                "2",
+                "--service-nodes",
+                "2",
+                "--tasks-per-pilot",
+                "80",
+                "--concurrency",
+                "4",
+                "--period",
+                "30",
+                "--admission-rate",
+                "0.5",
+                "--chaos",
+                "--json",
+                "--seed",
+                "3",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stalled_tasks"] == 0
+    assert payload["faults_applied"] == 2
+    assert payload["samples_generated"] == 8 * 80
+
+
 def test_bad_mode_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["scaling", "--modes", "bogus"])
