@@ -135,6 +135,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows in the critical-path span table (default: 10)",
     )
 
+    p_why = sub.add_parser(
+        "why",
+        help="explain why an event finished when it did (happens-before "
+        "chain + critical path)",
+        description=(
+            "Run one experiment with provenance capture on (the run is "
+            "byte-identical to an uninstrumented one), stitch the spans "
+            "and cross-task interactions into the run graph, and print "
+            "the most-constraining causal chain for TARGET plus the "
+            "critical-path edge attribution for the whole run."
+        ),
+    )
+    p_why.add_argument(
+        "target",
+        nargs="?",
+        default="run",
+        help="a task uid (task.000012), a span id, a span-label "
+        "substring, or 'run' for the whole-run makespan (default: run)",
+    )
+    p_why.add_argument(
+        "--experiment",
+        choices=("ddmd", "ddmd-adaptive", "openfoam", "openfoam-overload"),
+        default="ddmd-adaptive",
+        help="which experiment to run (default: ddmd-adaptive)",
+    )
+    p_why.add_argument("--seed", type=int, default=7)
+    p_why.add_argument(
+        "--top", type=int, default=20,
+        help="costliest hops kept in the chain rendering (default: 20)",
+    )
+    p_why.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the critical-path table to PATH",
+    )
+
     p_bneck = sub.add_parser(
         "bottleneck",
         help="run the bottleneck detectors over a named scenario",
@@ -453,6 +488,87 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traced_experiment(name: str, seed: int):
+    """Run one named experiment (shared by ``trace`` and ``why``)."""
+    if name in ("openfoam", "openfoam-overload"):
+        from .experiments import OVERLOAD, TUNING, run_openfoam_experiment
+
+        experiment = OVERLOAD if name == "openfoam-overload" else TUNING
+        print(f"running OpenFOAM '{experiment.name}' (seed {seed}) ...")
+        return run_openfoam_experiment(experiment, seed=seed)
+    from .experiments import (
+        adaptive_experiment,
+        run_ddmd_experiment,
+        tuning_experiment,
+    )
+
+    experiment = (
+        adaptive_experiment() if name == "ddmd-adaptive" else tuning_experiment()
+    )
+    print(f"running DDMD '{experiment.name}' (seed {seed}) ...")
+    return run_ddmd_experiment(
+        experiment, seed=seed, adaptive_analysis=(name == "ddmd-adaptive")
+    )
+
+
+def _cmd_why(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .provenance import (
+        build_graph,
+        critical_path,
+        render_critical_path,
+        render_why,
+        report_violations,
+        resolve_target,
+        set_default_provenance,
+        validate_graph,
+        why_chain,
+    )
+    from .telemetry import drain_telemetries, set_default_telemetry
+
+    drain_telemetries()
+    prev_tel = set_default_telemetry(True)
+    prev_prov = set_default_provenance(True)
+    try:
+        result = _run_traced_experiment(args.experiment, args.seed)
+    finally:
+        set_default_telemetry(prev_tel)
+        set_default_provenance(prev_prov)
+
+    graph = build_graph(result)
+    drain_telemetries()
+    violations = validate_graph(graph)
+    if violations:
+        report_violations(graph, violations)
+        for violation in violations:
+            print(f"invalid run graph — {violation.format()}", file=sys.stderr)
+        return 1
+
+    target = resolve_target(graph, args.target)
+    if target is None:
+        tasks = ", ".join(sorted(graph.task_events)[:8])
+        print(
+            f"why: no event matches {args.target!r}; try 'run', a span "
+            f"label substring, or a task uid ({tasks}, ...)",
+            file=sys.stderr,
+        )
+        return 2
+    chain = why_chain(graph, target)
+    print()
+    print(render_why(graph, target, chain, top=max(1, args.top)))
+    print()
+    path = critical_path(graph)
+    table = render_critical_path(graph, path)
+    print(table)
+    if args.out is not None:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(table + "\n", encoding="utf-8")
+        print(f"\ncritical-path table written to {out}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -474,30 +590,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     drain_telemetries()  # discard hubs any earlier in-process run left
     previous = set_default_telemetry(True)
     try:
-        if args.experiment in ("openfoam", "openfoam-overload"):
-            from .experiments import OVERLOAD, TUNING, run_openfoam_experiment
-
-            experiment = (
-                OVERLOAD if args.experiment == "openfoam-overload" else TUNING
-            )
-            print(
-                f"tracing OpenFOAM '{experiment.name}' (seed {args.seed}) ..."
-            )
-            result = run_openfoam_experiment(experiment, seed=args.seed)
-        else:
-            from .experiments import (
-                adaptive_experiment,
-                run_ddmd_experiment,
-                tuning_experiment,
-            )
-
-            experiment = (
-                adaptive_experiment()
-                if args.experiment == "ddmd-adaptive"
-                else tuning_experiment()
-            )
-            print(f"tracing DDMD '{experiment.name}' (seed {args.seed}) ...")
-            result = run_ddmd_experiment(experiment, seed=args.seed)
+        result = _run_traced_experiment(args.experiment, args.seed)
     finally:
         set_default_telemetry(previous)
         hubs = drain_telemetries()
@@ -700,6 +793,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "why":
+        return _cmd_why(args)
     if args.command == "bottleneck":
         return _cmd_bottleneck(args)
     if args.command == "facility":

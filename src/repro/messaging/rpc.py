@@ -289,9 +289,15 @@ class RPCServer:
                 f"from tenant {request.tenant!r} (over budget)"
             )
         arrival = self.env.now
+        tel = self.env._telemetry
+        prov = tel.provenance if tel is not None else None
         with self._workers.request() as slot:
             yield slot
             queue_time = self.env.now - arrival
+            if prov is not None:
+                prov.note_rpc_serve(
+                    request.uid, self.name, arrival, self.env.now
+                )
             handler = self._handlers.get(request.method)
             if handler is None:
                 self.stats.errors += 1
@@ -500,6 +506,11 @@ class RPCClient:
         )
         if span is not None:
             request.ctx = span.context
+        tel = self.env._telemetry
+        if tel is not None and tel.provenance is not None:
+            tel.provenance.note_rpc_send(
+                request.uid, method, self.name, start, span
+            )
         # Client-side serialization cost (charged on our node if any).
         ser = payload_bytes * self.serialize_cost_per_byte
         if ser > 0 and self.node is not None:

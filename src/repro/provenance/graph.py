@@ -1,0 +1,236 @@
+"""The run-wide happens-before + dataflow DAG.
+
+Nodes are timestamped *events*, not intervals: every telemetry span
+contributes a ``span.start`` and a ``span.end`` event, and every
+cross-component interaction the capture layer observed (RPC send and
+rank-grant, store write and read, scheduler grant, raptor dispatch,
+fault window open/close) contributes one event at the simulated time it
+happened.  Edges are typed happens-before constraints; the invariant
+every edge satisfies — pinned by the validators and the Hypothesis
+battery — is ``src.t <= dst.t`` in simulated time.
+
+The event formulation is what PROBE's ``hb_graph`` uses and it is what
+makes critical-path attribution exact: walking backward from ``run.end``
+along most-constraining in-edges yields a chain whose edge durations
+telescope to precisely the end-to-end makespan, so every second of the
+run is attributed to exactly one typed edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["EDGE_KINDS", "EVENT_KINDS", "ProvEdge", "ProvEvent", "ProvGraph"]
+
+#: Every event kind the builder emits.
+EVENT_KINDS: tuple[str, ...] = (
+    "run.start",
+    "run.end",
+    "span.start",
+    "span.end",
+    "rpc.send",
+    "rpc.grant",
+    "store.write",
+    "store.read",
+    "sched.grant",
+    "raptor.submit",
+    "raptor.dispatch",
+    "fault.start",
+    "fault.end",
+)
+
+#: The edge taxonomy (DESIGN.md section 3f).  "Wait" kinds carry the
+#: time a consumer spent blocked on a producer; structural kinds
+#: (run/span/program/join) stitch the per-task trees into one DAG.
+EDGE_KINDS: tuple[str, ...] = (
+    "run",            # run.start -> trace roots / fault events -> run.end
+    "span",           # span.start -> span.end (the interval itself)
+    "program",        # sequential program order within one span
+    "join",           # child span.end -> parent span.end
+    "rpc.wire",       # client rpc.send -> server rpc.serve start
+    "rpc.queue",      # rpc.serve start -> rank grant (ingest queueing)
+    "wait-on-grant",  # agent.schedule start -> scheduler grant
+    "launch",         # scheduler grant -> agent.execute start
+    "raptor.queue",   # raptor.submit -> raptor.dispatch (backlog wait)
+    "raptor.dispatch",  # raptor.dispatch -> raptor.call start
+    "wait-on-store",  # store.write -> store.read (dataflow)
+    "fault.window",   # fault.start -> fault.end
+)
+
+
+@dataclass(slots=True)
+class ProvEvent:
+    """One timestamped node of the happens-before graph."""
+
+    eid: int
+    kind: str
+    t: float
+    label: str
+    #: Stable external identity: task/request uid, span id, store name.
+    ref: str = ""
+    #: Telemetry component track the event belongs to ("" if none).
+    component: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProvEvent #{self.eid} {self.kind} {self.label!r} t={self.t:g}>"
+
+
+@dataclass(slots=True)
+class ProvEdge:
+    """One typed happens-before constraint between two events."""
+
+    src: int
+    dst: int
+    kind: str
+    t_src: float
+    t_dst: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_dst - self.t_src
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ProvEdge {self.kind} #{self.src}->#{self.dst} "
+            f"[{self.t_src:g}, {self.t_dst:g}]>"
+        )
+
+
+class ProvGraph:
+    """Event DAG with per-node in/out edge indexes.
+
+    Build-only structure: events and edges are appended by the builder
+    and never removed, so the indexes are plain lists of edge positions
+    and iteration order is creation order (deterministic per run).
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ProvEvent] = []
+        self.edges: list[ProvEdge] = []
+        self._out: dict[int, list[int]] = {}
+        self._in: dict[int, list[int]] = {}
+        self.root: ProvEvent | None = None
+        self.end: ProvEvent | None = None
+        #: task uid -> (span.start event, span.end event) of its root span.
+        self.task_events: dict[str, tuple[ProvEvent, ProvEvent]] = {}
+        #: span_id -> (span.start event, span.end event).
+        self.span_events: dict[int, tuple[ProvEvent, ProvEvent]] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def add_event(
+        self,
+        kind: str,
+        t: float,
+        label: str,
+        ref: str = "",
+        component: str = "",
+        **attrs: Any,
+    ) -> ProvEvent:
+        event = ProvEvent(
+            eid=len(self.events),
+            kind=kind,
+            t=t,
+            label=label,
+            ref=ref,
+            component=component,
+            attrs=attrs,
+        )
+        self.events.append(event)
+        return event
+
+    def add_edge(
+        self, src: ProvEvent, dst: ProvEvent, kind: str, **attrs: Any
+    ) -> ProvEdge:
+        edge = ProvEdge(
+            src=src.eid,
+            dst=dst.eid,
+            kind=kind,
+            t_src=src.t,
+            t_dst=dst.t,
+            attrs=attrs,
+        )
+        index = len(self.edges)
+        self.edges.append(edge)
+        self._out.setdefault(src.eid, []).append(index)
+        self._in.setdefault(dst.eid, []).append(index)
+        return edge
+
+    # -- navigation ----------------------------------------------------
+
+    def in_edges(self, event: ProvEvent | int) -> list[ProvEdge]:
+        eid = event.eid if isinstance(event, ProvEvent) else event
+        return [self.edges[i] for i in self._in.get(eid, ())]
+
+    def out_edges(self, event: ProvEvent | int) -> list[ProvEdge]:
+        eid = event.eid if isinstance(event, ProvEvent) else event
+        return [self.edges[i] for i in self._out.get(eid, ())]
+
+    def event(self, eid: int) -> ProvEvent:
+        return self.events[eid]
+
+    def by_kind(self, kind: str) -> Iterator[ProvEvent]:
+        return (e for e in self.events if e.kind == kind)
+
+    def find(self, ref: str, kind: str | None = None) -> ProvEvent | None:
+        """First event carrying ``ref`` (optionally of one kind)."""
+        for event in self.events:
+            if event.ref == ref and (kind is None or event.kind == kind):
+                return event
+        return None
+
+    # -- summaries -----------------------------------------------------
+
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def edge_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for edge in self.edges:
+            counts[edge.kind] = counts.get(edge.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- whole-graph algorithms ---------------------------------------
+
+    def topo_order(self) -> list[int] | None:
+        """Kahn topological order of event ids; None if cyclic."""
+        indegree = [0] * len(self.events)
+        for edge in self.edges:
+            indegree[edge.dst] += 1
+        ready = deque(
+            event.eid for event in self.events if indegree[event.eid] == 0
+        )
+        order: list[int] = []
+        while ready:
+            eid = ready.popleft()
+            order.append(eid)
+            for index in self._out.get(eid, ()):
+                dst = self.edges[index].dst
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    ready.append(dst)
+        if len(order) != len(self.events):
+            return None
+        return order
+
+    def reachable_from(self, event: ProvEvent | int) -> set[int]:
+        """Event ids reachable from ``event`` along forward edges."""
+        start = event.eid if isinstance(event, ProvEvent) else event
+        seen = {start}
+        frontier = deque((start,))
+        while frontier:
+            eid = frontier.popleft()
+            for index in self._out.get(eid, ()):
+                dst = self.edges[index].dst
+                if dst not in seen:
+                    seen.add(dst)
+                    frontier.append(dst)
+        return seen

@@ -153,6 +153,8 @@ class RaptorMaster:
         tel = self.env._telemetry
         if tel is not None and call.ctx is None:
             call.ctx = tel.current()
+        if tel is not None and tel.provenance is not None:
+            tel.provenance.note_raptor_submit(call.uid, self.env.now, call.ctx)
         self._backlog.append(call)
         self._pump()
         return call.done
@@ -170,11 +172,15 @@ class RaptorMaster:
     # -- dispatch ---------------------------------------------------------------
 
     def _pump(self) -> None:
+        tel = self.env._telemetry
+        prov = tel.provenance if tel is not None else None
         while self._backlog and self._free:
             call = self._backlog.popleft()
             worker = self._free.popleft()
             self._worker_inboxes[worker.uid].put(call)
             self.dispatched += 1
+            if prov is not None:
+                prov.note_raptor_dispatch(call.uid, worker.uid, self.env.now)
 
     def _call_finished(self, worker: RaptorWorkerModel, call: FunctionCall) -> None:
         self.completed += 1

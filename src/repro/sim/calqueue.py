@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import os
 from heapq import heapify, heappop, heappush
+from math import nextafter
 from typing import Any
 
 __all__ = [
@@ -244,7 +245,7 @@ class CalendarEventQueue:
         self._cur: list[tuple] = []
         key = self._key_of(float(origin))
         self._cur_key = key
-        self._cur_bound = (key + 1) * self._width
+        self._cur_bound = self._bound_for(key)
         self._far_bound = (key + _HORIZON) * self._width
         self._buckets: dict[int, list[tuple]] = {}
         self._bucket_keys: list[int] = []
@@ -270,6 +271,33 @@ class CalendarEventQueue:
         elif scaled <= -_KEY_CAP:
             scaled = -_KEY_CAP
         return int(scaled)
+
+    def _bound_for(self, key: int) -> float:
+        """Smallest float ``b`` with ``int(b * inv_width) > key``.
+
+        ``(key + 1) * width`` and ``int(when * inv_width)`` round
+        differently (``inv_width`` is not exactly ``1 / width``), so the
+        naive bound can sit an ulp off the key partition: a push at the
+        boundary then passes ``when >= bound`` yet keys back onto the
+        *current* bucket, landing in the bucket map behind ``_cur`` and
+        draining after entries that sort later.  Walking the candidate
+        bound by ulps until it exactly matches the key partition makes
+        ``when < bound`` equivalent to ``key_of(when) <= key`` (float
+        multiply is monotone), so the fast-path compare and the key
+        arithmetic can never disagree.
+        """
+        inv = self._inv_width
+        bound = (key + 1) * self._width
+        if int(bound * inv) <= key:
+            bound = nextafter(bound, _INF)
+            while int(bound * inv) <= key:
+                bound = nextafter(bound, _INF)
+            return bound
+        down = nextafter(bound, -_INF)
+        while int(down * inv) > key:
+            bound = down
+            down = nextafter(down, -_INF)
+        return bound
 
     # -- core API ------------------------------------------------------
 
@@ -394,7 +422,7 @@ class CalendarEventQueue:
             self._cur = bucket
             self._cur_key = key
             width = self._width
-            self._cur_bound = (key + 1) * width
+            self._cur_bound = self._bound_for(key)
             self._far_bound = (key + _HORIZON) * width
             occupancy = len(bucket)
             if occupancy > self.max_bucket_occupancy:
@@ -492,13 +520,13 @@ class CalendarEventQueue:
             # advance will re-derive everything from live entries.
             key = self._key_of(self._cur_bound)
             self._cur_key = key
-            self._cur_bound = (key + 1) * new_width
+            self._cur_bound = self._bound_for(key)
             self._far_bound = (key + _HORIZON) * new_width
             return
         earliest = min(entry[0] for entry in entries)
         key = self._key_of(earliest)
         self._cur_key = key
-        self._cur_bound = (key + 1) * new_width
+        self._cur_bound = self._bound_for(key)
         self._far_bound = (key + _HORIZON) * new_width
         length = self._len
         for entry in entries:

@@ -50,6 +50,7 @@ __all__ = [
     "KernelSanitizer",
     "SharedDict",
     "drain_spontaneous_findings",
+    "record_spontaneous_finding",
 ]
 
 
@@ -96,6 +97,16 @@ def drain_spontaneous_findings() -> list[SanitizerFinding]:
     global _SPONTANEOUS
     drained, _SPONTANEOUS = _SPONTANEOUS, []
     return drained
+
+
+def record_spontaneous_finding(finding: SanitizerFinding) -> None:
+    """Register a finding produced outside the kernel hooks.
+
+    Post-hoc checkers (e.g. the provenance-graph validators) use this to
+    surface their violations through the same registry the test suite's
+    zero-findings guard already drains.
+    """
+    _SPONTANEOUS.append(finding)
 
 
 class KernelSanitizer:

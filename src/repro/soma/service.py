@@ -160,8 +160,12 @@ class SomaServiceModel(ServiceModel):
         env = session.env
         self.servers: "dict[str, RPCServer]" = env.shared_dict("soma.servers")
         self.stores: "dict[str, NamespaceStore]" = env.shared_dict("soma.stores")
+        prov = getattr(session.telemetry, "provenance", None)
         for ns in config.namespaces:
-            self.stores[ns] = NamespaceStore(ns)
+            store = NamespaceStore(ns)
+            if prov is not None:
+                prov.watch_store(store, name=ns)
+            self.stores[ns] = store
         self.publishes = 0
         self.started_at: float | None = None
 
@@ -321,9 +325,13 @@ class ShardedSomaServiceModel(SomaServiceModel):
         self.ring = config.make_ring()
         #: Per-instance admission controllers (empty when disabled).
         self.admission: dict[str, AdmissionController] = {}
+        prov = getattr(session.telemetry, "provenance", None)
         for instance in config.instance_names:
             for ns in config.namespaces:
-                self.stores[f"{instance}.{ns}"] = NamespaceStore(ns)
+                store = NamespaceStore(ns)
+                if prov is not None:
+                    prov.watch_store(store, name=f"{instance}.{ns}")
+                self.stores[f"{instance}.{ns}"] = store
         self.publishes = 0
         self.started_at: float | None = None
 

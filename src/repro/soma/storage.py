@@ -39,6 +39,11 @@ class NamespaceStore:
         #: exactly the global list filtered to that source.
         self._by_source: dict[str, tuple[list[float], list[PublishedRecord]]] = {}
         self.total_bytes = 0.0
+        #: Provenance taps (see repro.provenance.builder.watch_store).
+        #: Both are plain callables fired synchronously from host code;
+        #: None means nobody is watching and costs one attribute check.
+        self.write_tap = None
+        self.read_tap = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -67,6 +72,8 @@ class NamespaceStore:
             stimes.append(time)
             srecords.append(record)
         self.total_bytes += nbytes
+        if self.write_tap is not None:
+            self.write_tap(record)
         return record
 
     # -- queries ----------------------------------------------------------
@@ -86,13 +93,20 @@ class NamespaceStore:
             times, records = index
         lo = 0 if since is None else bisect.bisect_left(times, since)
         hi = len(times) if until is None else bisect.bisect_right(times, until)
-        return records[lo:hi]
+        result = records[lo:hi]
+        if self.read_tap is not None:
+            self.read_tap("records", source, result)
+        return result
 
     def latest(self, source: str | None = None) -> PublishedRecord | None:
         if source is None:
-            return self._records[-1] if self._records else None
-        index = self._by_source.get(source)
-        return index[1][-1] if index else None
+            record = self._records[-1] if self._records else None
+        else:
+            index = self._by_source.get(source)
+            record = index[1][-1] if index else None
+        if self.read_tap is not None:
+            self.read_tap("latest", source, [record] if record else [])
+        return record
 
     def sources(self) -> set[str]:
         return set(self._by_source)
@@ -115,4 +129,6 @@ class NamespaceStore:
         return root
 
     def __iter__(self) -> Iterator[PublishedRecord]:
+        if self.read_tap is not None:
+            self.read_tap("iter", None, self._records)
         return iter(self._records)

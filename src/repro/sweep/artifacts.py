@@ -55,6 +55,7 @@ __all__ = [
     "render_ablation_placement",
     "render_ablation_detection",
     "render_facility",
+    "render_provenance",
 ]
 
 #: Fig 11 configurations, in presentation order.
@@ -539,6 +540,34 @@ def render_ablation_detection(payloads: dict[str, dict]) -> str:
     )
 
 
+def render_provenance(payload: dict) -> str:
+    """The run-graph manifest: invariants + critical-path attribution."""
+    header = (
+        f"provenance graph for DDMD '{payload['experiment']}': "
+        f"{payload['events']} events, {payload['edges']} edges, "
+        f"{payload['tasks']} tasks"
+    )
+    status = (
+        "invariants: ok"
+        if not payload["violations"]
+        else "invariants VIOLATED: " + "; ".join(payload["violations"])
+    )
+    total = payload["attribution_total"]
+    rows = [
+        [kind, f"{seconds:.2f}", f"{100.0 * seconds / total:.1f}%" if total else "0.0%"]
+        for kind, seconds in payload["attribution"].items()
+    ]
+    table = render_table(
+        ["edge kind", "seconds", "share"],
+        rows,
+        title=(
+            f"critical path: {payload['critical_path_edges']} edge(s), "
+            f"{total:.2f}s attributed of {payload['finished_at']:.2f}s"
+        ),
+    )
+    return "\n".join([header, status, "", table])
+
+
 def render_facility(payload: dict) -> str:
     """The facility manifest: degradation contract + shard balance."""
     spec_line = (
@@ -693,6 +722,14 @@ def default_matrix(
         )
     cells.append(
         CellSpec(
+            key="provenance-ddmd",
+            family="provenance",
+            seed=7,
+            params={"preset": "adaptive", "adaptive_analysis": True},
+        )
+    )
+    cells.append(
+        CellSpec(
             key="facility-smoke",
             family="facility",
             seed=3,
@@ -805,6 +842,11 @@ def default_matrix(
                 "facility",
                 ("facility-smoke",),
                 lambda p: render_facility(p["facility-smoke"]),
+            ),
+            Artifact(
+                "provenance",
+                ("provenance-ddmd",),
+                lambda p: render_provenance(p["provenance-ddmd"]),
             ),
         )
     }

@@ -58,6 +58,7 @@ __all__ = [
     "openfoam_cell",
     "ddmd_cell",
     "ablation_cell",
+    "provenance_cell",
 ]
 
 _DDMD_STAGES = ("simulation", "training", "selection", "agent")
@@ -239,6 +240,62 @@ def ddmd_cell(params: dict, seed: int) -> dict:
         adaptive_analysis=bool(params.get("adaptive_analysis", False)),
     )
     return collect_ddmd(result, experiment)
+
+
+@register_cell_family("provenance")
+def provenance_cell(params: dict, seed: int) -> dict:
+    """``{"preset": ..., "overrides": {...}, "adaptive_analysis": bool}``.
+
+    Runs one DDMD configuration with provenance capture on, builds the
+    run graph, validates its invariants, and reduces the critical-path
+    attribution to plain data.  The run itself is byte-identical to the
+    plain ``ddmd`` cell (the zero-perturbation battery pins that), so
+    this cell only pays the graph construction on top.
+    """
+    from ..provenance import (
+        attribution_total,
+        build_graph,
+        critical_path,
+        edge_attribution,
+        set_default_provenance,
+        validate_graph,
+    )
+    from ..telemetry import drain_telemetries, set_default_telemetry
+
+    experiment = _ddmd_experiment(params)
+    drain_telemetries()
+    prev_tel = set_default_telemetry(True)
+    prev_prov = set_default_provenance(True)
+    try:
+        result = run_ddmd_experiment(
+            experiment,
+            seed=seed,
+            adaptive_analysis=bool(params.get("adaptive_analysis", False)),
+        )
+    finally:
+        set_default_telemetry(prev_tel)
+        set_default_provenance(prev_prov)
+    graph = build_graph(result)
+    drain_telemetries()
+    violations = validate_graph(graph)
+    path = critical_path(graph)
+    return jsonable(
+        {
+            "experiment": experiment.name,
+            "makespan": result.makespan,
+            "finished_at": result.finished_at,
+            "events": len(graph.events),
+            "edges": len(graph.edges),
+            "event_counts": graph.event_counts(),
+            "edge_counts": graph.edge_counts(),
+            "tasks": len(graph.task_events),
+            "violations": [v.format() for v in violations],
+            "critical_path_edges": len(path),
+            "attribution": edge_attribution(path),
+            "attribution_total": attribution_total(path),
+            "capture": result.session.telemetry.provenance.counters(),
+        }
+    )
 
 
 @register_cell_family("facility")

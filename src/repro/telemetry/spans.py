@@ -216,9 +216,16 @@ class Telemetry:
         self.spans_closed = 0
         self.double_closes = 0
         self.dropped_events = 0
+        #: Optional provenance capture riding this hub (same contract:
+        #: host-memory bookkeeping only, never a kernel event).
+        self.provenance = None
         if self.enabled:
             env._telemetry = self
             _ACTIVE.append(self)
+            from ..provenance import ProvenanceCapture, default_provenance
+
+            if default_provenance():
+                self.provenance = ProvenanceCapture(self)
 
     # -- ambient context ----------------------------------------------
 

@@ -1,0 +1,80 @@
+"""Golden snapshots for ``python -m repro why`` output.
+
+One fixed-seed adaptive DDMD run backs both snapshots: the rendered
+why-chain of a deterministic late task and the critical-path edge
+table.  ``run_workflow`` restarts every process-global uid mint, so the
+rendering depends only on (experiment, seed) — any drift in ``data/``
+is a real change to either the builder's edge wiring or the renderers.
+
+Regenerate deliberately with ``REPRO_UPDATE_GOLDENS=1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.provenance import (
+    build_graph,
+    critical_path,
+    render_critical_path,
+    render_why,
+    resolve_target,
+    set_default_provenance,
+    validate_graph,
+    why_chain,
+)
+from repro.telemetry import drain_telemetries, set_default_telemetry
+
+from tests.golden.helpers import check_golden
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def adaptive_graph():
+    from repro.experiments import adaptive_experiment, run_ddmd_experiment
+
+    prev_tel = set_default_telemetry(True)
+    prev_prov = set_default_provenance(True)
+    drain_telemetries()
+    try:
+        result = run_ddmd_experiment(
+            adaptive_experiment(), seed=SEED, adaptive_analysis=True
+        )
+    finally:
+        set_default_telemetry(prev_tel)
+        set_default_provenance(prev_prov)
+    graph = build_graph(result)
+    drain_telemetries()
+    assert validate_graph(graph) == []
+    return graph
+
+
+def test_why_task_golden(adaptive_graph):
+    graph = adaptive_graph
+    target_uid = sorted(graph.task_events)[-1]
+    target = resolve_target(graph, target_uid)
+    chain = why_chain(graph, target)
+    check_golden(
+        "why_ddmd_adaptive_seed7.txt",
+        render_why(graph, target, chain, top=12) + "\n",
+    )
+
+
+def test_why_run_golden(adaptive_graph):
+    graph = adaptive_graph
+    target = resolve_target(graph, "run")
+    chain = why_chain(graph, target)
+    check_golden(
+        "why_run_ddmd_adaptive_seed7.txt",
+        render_why(graph, target, chain, top=12) + "\n",
+    )
+
+
+def test_critical_path_table_golden(adaptive_graph):
+    graph = adaptive_graph
+    path = critical_path(graph)
+    check_golden(
+        "critical_path_ddmd_adaptive_seed7.txt",
+        render_critical_path(graph, path, top=10) + "\n",
+    )

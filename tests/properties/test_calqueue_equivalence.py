@@ -130,6 +130,65 @@ def test_overflow_bucket_key_collision_matches_heap_model(
     assert drained == [heapq.heappop(model) for _ in range(len(model))]
 
 
+def test_cur_bound_matches_key_partition_at_boundary():
+    # Regression (Hypothesis-found): with width=1e-6 the naive bound
+    # ``(key + 1) * width`` and the push key ``int(when * inv_width)``
+    # disagree by an ulp (``inv_width`` is not exactly ``1 / width``).
+    # A push at exactly the current bucket's upper boundary then keyed
+    # back onto the *current* bucket but landed in the bucket map
+    # behind it, draining after a same-time higher-priority entry.
+    program = [
+        ("push", 0.0, 0),
+        ("push", 0.0, 0),
+        ("push", 0.001, 0),
+        ("pop", 0.0, 0),
+        ("pop", 0.0, 0),
+        ("push", 0.0, 0),
+        ("push", 0.0, 0),
+        ("push", 1.0, 1),
+        ("pop", 0.0, 0),
+        ("pop", 0.0, 0),
+        ("pop", 0.0, 0),
+        ("push", 0.0, 0),
+    ]
+    queue = CalendarEventQueue(width=1e-6)
+    model: list = []
+    now = 0.0
+    eid = 0
+    for op, delay, priority in program:
+        if op == "pop" and model:
+            assert queue.pop() == heapq.heappop(model)
+            now = queue.next_time() if model else now
+        elif op == "push":
+            entry = (now + delay, priority, eid, None)
+            eid += 1
+            queue.push(entry)
+            heapq.heappush(model, entry)
+    drained = []
+    while queue:
+        drained.append(queue.pop())
+    assert drained == [heapq.heappop(model) for _ in range(len(model))]
+
+
+@given(
+    width=st.sampled_from([1e-6, 1e-3, 0.1, 1.0, 3.0, 1e3, 1e6]),
+    key=st.integers(min_value=0, max_value=10**9),
+)
+@settings(max_examples=200, deadline=None)
+def test_bound_for_is_exact_key_partition(width, key):
+    # ``when < bound``  <=>  ``int(when * inv_width) <= key`` — checked
+    # one ulp either side of the returned boundary.
+    import math
+
+    queue = CalendarEventQueue(width=width)
+    bound = queue._bound_for(key)
+    inv = queue._inv_width
+    assert int(bound * inv) > key
+    below = math.nextafter(bound, -math.inf)
+    if below > 0:
+        assert int(below * inv) <= key
+
+
 # -- kernel level --------------------------------------------------------
 
 kernel_programs = st.lists(

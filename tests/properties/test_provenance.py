@@ -1,0 +1,138 @@
+"""Property-based tests for the run-provenance graph.
+
+For randomly-shaped monitored bag-of-tasks runs — fault-free and under
+Hypothesis-chosen chaos plans — the builder must always produce a graph
+satisfying the structural invariants the validators pin:
+
+* acyclic (a topological order exists);
+* single-rooted at the run-start event;
+* every task node reachable from the run root along forward edges;
+* every edge respects happens-before (``src.t <= dst.t`` in sim time);
+
+plus the analysis identity: the critical path's edge durations
+telescope to exactly the end-to-end makespan.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import run_workflow
+from repro.faults import FaultPlan
+from repro.provenance import (
+    attribution_total,
+    build_graph,
+    critical_path,
+    set_default_provenance,
+    validate_graph,
+)
+from repro.soma import HARDWARE, WORKFLOW, SomaConfig
+from repro.telemetry import drain_telemetries, set_default_telemetry
+from repro.workloads import uniform_bag
+
+MONITORING = SomaConfig(
+    namespaces=(WORKFLOW, HARDWARE),
+    monitors=("proc",),
+    monitoring_frequency=30.0,
+)
+
+
+def _graph_for(seed, count, duration, plan=None):
+    def workload(client, deployment):
+        tasks = client.submit_tasks(uniform_bag(count, duration=duration))
+        yield from client.wait_tasks(tasks)
+        return {"done": len(tasks)}
+
+    prev_tel = set_default_telemetry(True)
+    prev_prov = set_default_provenance(True)
+    drain_telemetries()
+    try:
+        result = run_workflow(
+            workload,
+            nodes=2,
+            service_nodes=1,
+            soma_config=MONITORING,
+            seed=seed,
+            fault_plan=plan,
+        )
+    finally:
+        set_default_telemetry(prev_tel)
+        set_default_provenance(prev_prov)
+    graph = build_graph(result)
+    drain_telemetries()
+    return result, graph
+
+
+def _assert_invariants(result, graph):
+    violations = validate_graph(graph)
+    assert violations == [], [v.format() for v in violations]
+    # The four invariants, restated directly (not just via the validator):
+    for edge in graph.edges:
+        assert edge.t_src <= edge.t_dst
+    assert graph.topo_order() is not None
+    rootless = [e for e in graph.events if not graph.in_edges(e)]
+    assert rootless == [graph.root]
+    reachable = graph.reachable_from(graph.root)
+    for uid, (start, end) in graph.task_events.items():
+        assert start.eid in reachable, uid
+        assert end.eid in reachable, uid
+    assert len(graph.task_events) == len(result.tasks)
+    # Telescoping is algebraically exact; summing the per-edge
+    # differences reintroduces float round-off, hence the tolerance.
+    assert attribution_total(critical_path(graph)) == pytest.approx(
+        graph.end.t - graph.root.t, rel=1e-9
+    )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    count=st.integers(min_value=1, max_value=12),
+    duration=st.floats(min_value=1.0, max_value=300.0),
+)
+def test_fault_free_runs_build_valid_graphs(seed, count, duration):
+    result, graph = _graph_for(seed, count, duration)
+    _assert_invariants(result, graph)
+
+
+def _chaos_plan(choice, at, window):
+    plan = FaultPlan()
+    if choice == "rpc_drop":
+        return plan.rpc_drop(at, probability=0.5, duration=window, stall=2.0)
+    if choice == "rpc_delay":
+        return plan.rpc_delay(at, probability=0.5, delay=5.0, duration=window)
+    if choice == "outage":
+        return plan.service_outage(at, duration=window)
+    return plan.rpc_duplicate(at, probability=0.5, duration=window)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    count=st.integers(min_value=2, max_value=10),
+    duration=st.floats(min_value=30.0, max_value=300.0),
+    choice=st.sampled_from(("rpc_drop", "rpc_delay", "outage", "duplicate")),
+    at=st.floats(min_value=0.0, max_value=120.0),
+    window=st.floats(min_value=10.0, max_value=200.0),
+)
+def test_chaos_runs_build_valid_graphs(seed, count, duration, choice, at, window):
+    result, graph = _graph_for(
+        seed, count, duration, plan=_chaos_plan(choice, at, window)
+    )
+    _assert_invariants(result, graph)
+    # The plan's windows surface as fault events bracketed by the run.
+    fault_starts = list(graph.by_kind("fault.start"))
+    fault_ends = list(graph.by_kind("fault.end"))
+    assert len(fault_starts) == len(fault_ends)
+    for event in fault_starts + fault_ends:
+        assert 0.0 <= event.t <= graph.end.t

@@ -1,0 +1,185 @@
+"""End-to-end builder battery: real runs in, valid typed graphs out.
+
+One adaptive DDMD run (module fixture) backs the taxonomy and
+acceptance assertions: the graph must validate, the critical path must
+attribute exactly the end-to-end makespan, and a late task's why-chain
+must cross the EnTK -> RP -> SOMA component boundary the way the paper's
+Fig 4 walkthrough does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.provenance import (
+    ProvenanceCapture,
+    attribution_total,
+    build_graph,
+    chain_components,
+    critical_path,
+    default_provenance,
+    render_critical_path,
+    resolve_target,
+    set_default_provenance,
+    validate_graph,
+    why_chain,
+)
+from repro.telemetry import drain_telemetries, set_default_telemetry
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def adaptive_graph():
+    from repro.experiments import adaptive_experiment, run_ddmd_experiment
+
+    prev_tel = set_default_telemetry(True)
+    prev_prov = set_default_provenance(True)
+    drain_telemetries()
+    try:
+        result = run_ddmd_experiment(
+            adaptive_experiment(), seed=SEED, adaptive_analysis=True
+        )
+    finally:
+        set_default_telemetry(prev_tel)
+        set_default_provenance(prev_prov)
+    graph = build_graph(result)
+    drain_telemetries()
+    return result, graph
+
+
+def test_default_toggle_round_trips():
+    previous = set_default_provenance(True)
+    try:
+        assert default_provenance() is True
+        assert set_default_provenance(False) is True
+        assert default_provenance() is False
+    finally:
+        set_default_provenance(previous)
+
+
+def test_capture_rides_the_hub(adaptive_graph):
+    result, _ = adaptive_graph
+    capture = result.session.telemetry.provenance
+    assert isinstance(capture, ProvenanceCapture)
+    counters = capture.counters()
+    assert counters["rpc_sends"] > 0
+    assert counters["rpc_sends"] == counters["rpc_serves"]
+    assert counters["store_writes"] > 0
+    assert counters["store_reads"] > 0
+    assert counters["grants"] == len(result.tasks)
+
+
+def test_graph_is_valid_and_complete(adaptive_graph):
+    result, graph = adaptive_graph
+    assert validate_graph(graph) == []
+    assert len(graph.task_events) == len(result.tasks)
+    # Every span contributed a start/end pair plus run boundary events.
+    hub = result.session.telemetry
+    assert len(graph.span_events) == len(hub.spans)
+
+
+def test_edge_taxonomy_present(adaptive_graph):
+    _, graph = adaptive_graph
+    kinds = graph.edge_counts()
+    for kind in (
+        "run",
+        "span",
+        "program",
+        "join",
+        "rpc.wire",
+        "rpc.queue",
+        "wait-on-grant",
+        "launch",
+        "wait-on-store",
+    ):
+        assert kinds.get(kind, 0) > 0, f"no {kind!r} edges in a real run"
+
+
+def test_critical_path_attributes_full_makespan(adaptive_graph):
+    result, graph = adaptive_graph
+    path = critical_path(graph)
+    total = attribution_total(path)
+    # The telescoping identity: attributed seconds == makespan, within
+    # float round-off (the acceptance bound is 1%; this is far tighter).
+    assert total == pytest.approx(result.finished_at, rel=1e-9)
+    rendered = render_critical_path(graph, path)
+    assert f"{total:.2f}s attributed" in rendered
+
+
+def test_late_task_chain_crosses_three_components(adaptive_graph):
+    _, graph = adaptive_graph
+    last_uid = sorted(graph.task_events)[-1]
+    target = resolve_target(graph, last_uid)
+    chain = why_chain(graph, target)
+    components = chain_components(graph, chain)
+    assert len(components) >= 3, components
+    assert "entk" in components
+    assert "soma-service" in components
+    assert any(c.startswith("rp-") for c in components)
+
+
+def test_capture_closed_after_build(adaptive_graph):
+    result, _ = adaptive_graph
+    capture = result.session.telemetry.provenance
+    assert capture.closed
+    before = capture.counters()
+    # Offline analysis reads after the graph is built must not append.
+    from repro.soma.namespaces import HARDWARE
+
+    result.deployment.store(HARDWARE).records()
+    assert capture.counters() == before
+
+
+def test_bare_hub_yields_span_skeleton(adaptive_graph):
+    result, _ = adaptive_graph
+    hub = result.session.telemetry
+    # A hub that never had a capture attached still yields the span
+    # skeleton (build_graph falls back to hub.provenance, so detach it).
+    capture = hub.provenance
+    hub.provenance = None
+    try:
+        skeleton = build_graph(result, close=False)
+    finally:
+        hub.provenance = capture
+    assert validate_graph(skeleton) == []
+    kinds = skeleton.edge_counts()
+    assert kinds.get("span", 0) > 0
+    assert "rpc.wire" not in kinds  # capture-derived edges need a capture
+
+
+def test_raptor_edges_from_function_calls():
+    from repro.platform import summit_like
+    from repro.rp import Client, PilotDescription, Session
+    from repro.rp.raptor import FunctionCall, RaptorMaster
+
+    prev_prov = set_default_provenance(True)
+    try:
+        session = Session(cluster_spec=summit_like(2), seed=3, telemetry=True)
+        client = Client(session)
+        env = session.env
+
+        def main(env):
+            yield from client.submit_pilot(
+                PilotDescription(nodes=1, agent_nodes=1)
+            )
+            master = RaptorMaster(env)
+            client.submit_tasks([master.worker_description(cores=4)])
+            yield env.timeout(5.0)
+            calls = [FunctionCall(duration=1.0) for _ in range(4)]
+            yield from master.map(calls)
+
+        env.run(env.process(main(env)))
+    finally:
+        set_default_provenance(prev_prov)
+        drain_telemetries()
+    hub = session.telemetry
+    capture = hub.provenance
+    assert capture is not None
+    assert capture.counters()["raptor_submits"] == 4
+    assert capture.counters()["raptor_dispatches"] == 4
+    graph = build_graph(hub=hub, capture=capture)
+    assert validate_graph(graph) == []
+    kinds = graph.edge_counts()
+    assert kinds.get("raptor.queue", 0) == 4
+    assert kinds.get("raptor.dispatch", 0) > 0

@@ -20,7 +20,7 @@ from repro.experiments import (
 from repro.sweep.spec import result_digest
 from repro.telemetry import drain_telemetries, set_default_telemetry
 
-from tests.faults.harness import trace_signature
+from tests.faults.harness import metric_signature, trace_signature
 
 SEEDS = (3, 17, 33)
 
@@ -78,6 +78,67 @@ def test_ddmd_trace_is_byte_identical():
 
     baseline, traced = _differential(run)
     assert baseline == traced
+
+
+def _provenance_differential(run):
+    """Baseline (everything off) vs telemetry + provenance capture on.
+
+    Returns ``(baseline, captured)`` where each element also carries
+    the SOMA store signature — the provenance store taps must not
+    change what lands in any namespace store, not just the trace.
+    """
+    from repro.provenance import set_default_provenance
+
+    prev_tel = set_default_telemetry(False)
+    prev_prov = set_default_provenance(False)
+    try:
+        base_result = run()
+        baseline = (*_fingerprint(base_result), metric_signature(base_result.deployment))
+        assert drain_telemetries() == []
+        set_default_telemetry(True)
+        set_default_provenance(True)
+        result = run()
+        captured = (*_fingerprint(result), metric_signature(result.deployment))
+        hubs = drain_telemetries()
+    finally:
+        set_default_telemetry(prev_tel)
+        set_default_provenance(prev_prov)
+        drain_telemetries()
+    assert len(hubs) == 1
+    hub = hubs[0]
+    assert hub.provenance is not None, "capture must ride the enabled hub"
+    counters = hub.provenance.counters()
+    assert sum(counters.values()) > 0, "capture must actually record notes"
+    return baseline, captured
+
+
+def test_openfoam_provenance_is_byte_identical_per_seed():
+    for seed in SEEDS:
+        baseline, captured = _provenance_differential(
+            lambda: run_openfoam_experiment(TUNING, seed=seed)
+        )
+        assert baseline == captured, (
+            f"provenance capture perturbed the run (seed {seed})"
+        )
+
+
+def test_ddmd_provenance_is_byte_identical_per_seed():
+    import itertools
+
+    from repro.entk.pipeline import Pipeline
+    from repro.entk.stage import Stage
+
+    for seed in SEEDS:
+
+        def run(seed=seed):
+            Pipeline._ids = itertools.count()
+            Stage._ids = itertools.count()
+            return run_ddmd_experiment(tuning_experiment(), seed=seed)
+
+        baseline, captured = _provenance_differential(run)
+        assert baseline == captured, (
+            f"provenance capture perturbed the run (seed {seed})"
+        )
 
 
 def test_sweep_cell_payload_digest_is_identical():
